@@ -1,0 +1,103 @@
+// Command experiments regenerates every figure and claim-table of the
+// reproduced paper (see DESIGN.md §3 for the experiment index E1–E10).
+//
+// Usage:
+//
+//	experiments [-run E1,E5,...|all] [-quick] [-seed N]
+//
+// Each experiment prints fixed-width tables; EXPERIMENTS.md records the
+// paper-vs-measured comparison for the committed seeds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(w io.Writer, p params) error
+}
+
+// params carries the shared experiment knobs.
+type params struct {
+	seed  uint64
+	quick bool
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(w)
+	runList := fs.String("run", "all", "comma-separated experiment ids (E1..E10) or 'all'")
+	quick := fs.Bool("quick", false, "smaller populations and fewer rounds")
+	seed := fs.Uint64("seed", 1, "root random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := params{seed: *seed, quick: *quick}
+
+	all := []experiment{
+		{"E1", "Fig.1 coupled feedback: coupling on vs off", runE1},
+		{"E2", "§3 claim 1: trust<->satisfaction iterated map", runE2},
+		{"E3", "§3 claims 2+3: reputation power -> trust, satisfaction, honesty", runE3},
+		{"E4", "§3 claim 4: efficient mechanism, majority untrustworthy", runE4},
+		{"E5", "§3 claim 5 + Fig.2 right: disclosure antinomy", runE5},
+		{"E6", "Fig.2 left: Area A classification", runE6},
+		{"E7", "§2.2 mechanism space: eigentrust/trustme/powertrust/none", runE7},
+		{"E8", "§2.2 adversary taxonomy robustness", runE8},
+		{"E9", "§2.3 OECD / PriServ conformance", runE9},
+		{"E10", "§4 generic metric and optimizer per context", runE10},
+		{"E11", "§2.2 cited anonymous-reputation trade-off (extension)", runE11},
+	}
+
+	want := map[string]bool{}
+	if *runList == "all" {
+		for _, e := range all {
+			want[e.id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range all {
+		known[e.id] = true
+	}
+	var unknown []string
+	for id := range want {
+		if !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("unknown experiment ids: %s", strings.Join(unknown, ", "))
+	}
+
+	for _, e := range all {
+		if !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(w, "\n########## %s — %s ##########\n", e.id, e.desc)
+		if err := e.run(w, p); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Fprintf(w, "[%s done in %v]\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

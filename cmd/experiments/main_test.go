@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelectsExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "E2,E3", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "E2") || !strings.Contains(out, "E3") {
+		t.Fatalf("selected experiments missing:\n%s", out)
+	}
+	if strings.Contains(out, "E5:") {
+		t.Fatal("unselected experiment ran")
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"} {
+		if !strings.Contains(out, "########## "+id+" ") {
+			t.Fatalf("experiment %s missing from full quick run", id)
+		}
+	}
+	// Every experiment's key verdicts must appear.
+	for _, verdict := range []string{
+		"single attractor",             // E2
+		"monotone in reputation power", // E3
+		"contribution continues",       // E4
+		"iso-satisfaction pair",        // E5
+		"Area A:",                      // E6
+		"LRW convergence",              // E7
+		"whitewashing launders",        // E8
+		"OECD",                         // E9
+		"distinct optimal settings",    // E10
+		"reputation/privacy trade-off", // E11
+	} {
+		if !strings.Contains(out, verdict) {
+			t.Fatalf("verdict %q missing:\n", verdict)
+		}
+	}
+}
+
+func TestRunRejectsUnknownIDs(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-run", "E2,E99"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "E99") {
+		t.Fatalf("err = %v, want unknown-id error naming E99", err)
+	}
+}
+
+func TestRunCaseInsensitiveIDs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "e2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "iterated map") {
+		t.Fatal("lowercase id did not run E2")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nope"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestE2OutputShape(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "E2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "single attractor") {
+		t.Fatalf("E2 conclusion missing:\n%s", out)
+	}
+	// Eleven data rows (t0 = 0.0 .. 1.0).
+	if strings.Count(out, "yes") < 11 {
+		t.Fatalf("E2 monotonicity rows missing:\n%s", out)
+	}
+}
+
+func TestE9OutputShape(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "E9", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, principle := range []string{
+		"collection-limitation", "purpose-specification", "use-limitation",
+		"data-quality", "security-safeguards", "openness",
+		"individual-participation", "accountability",
+	} {
+		if !strings.Contains(out, principle) {
+			t.Fatalf("principle %s missing from E9 output", principle)
+		}
+	}
+}
+
+func TestE11OutputShape(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "E11", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "linkability") {
+		t.Fatal("E11 output missing linkability")
+	}
+}

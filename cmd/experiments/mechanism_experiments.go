@@ -1,0 +1,259 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/reputation"
+	"repro/internal/reputation/eigentrust"
+	"repro/internal/reputation/powertrust"
+	"repro/internal/reputation/trustme"
+	"repro/internal/workload"
+)
+
+func eigenFactory() core.MechanismFactory {
+	return func(n int) (reputation.Mechanism, error) {
+		return eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1, 2}})
+	}
+}
+
+// runE6 reproduces Figure 2 (left): the grid over the two settable axes is
+// classified into the intersection region "Area A" where all three facet
+// satisfactions hold at once; the best tradeoff lives inside it.
+func runE6(w io.Writer, p params) error {
+	n := p.peers(120)
+	grid := 5
+	rounds := 30
+	if p.quick {
+		grid, rounds = 4, 20
+	}
+	cfg := core.ExploreConfig{
+		Base: workload.Config{
+			Seed:           p.seed,
+			NumPeers:       n,
+			Mix:            baseMix(0.3),
+			RecomputeEvery: 2,
+		},
+		Mechanism:  eigenFactory(),
+		Rounds:     rounds,
+		GridSize:   grid,
+		Thresholds: core.Facets{Satisfaction: 0.6, Reputation: 0.6, Privacy: 0.8},
+	}
+	res, err := core.Explore(cfg)
+	if err != nil {
+		return err
+	}
+	tab := metrics.NewTable("E6: (disclosure x trust-gate) grid — Area A membership",
+		"disclosure", "gate", "S", "R", "P", "trust", "in Area A")
+	thr := cfg.Thresholds
+	for _, pt := range res.Points {
+		in := pt.Global.Satisfaction >= thr.Satisfaction &&
+			pt.Global.Reputation >= thr.Reputation &&
+			pt.Global.Privacy >= thr.Privacy
+		tab.AddRow(pt.Setting.Disclosure, pt.Setting.TrustGate,
+			pt.Global.Satisfaction, pt.Global.Reputation, pt.Global.Privacy, pt.Trust, in)
+	}
+	tab.Render(w)
+	fmt.Fprintf(w, "Area A: %d/%d settings (%.0f%%); best overall trust %.3f at (δ=%.2f, σ=%.2f); best inside A %.3f at (δ=%.2f, σ=%.2f)\n",
+		len(res.AreaA), len(res.Points), res.AreaFraction*100,
+		res.Best.Trust, res.Best.Setting.Disclosure, res.Best.Setting.TrustGate,
+		res.BestInAreaA.Trust, res.BestInAreaA.Setting.Disclosure, res.BestInAreaA.Setting.TrustGate)
+	return nil
+}
+
+// runE7 compares the paper's cited mechanism space — EigenTrust, TrustMe,
+// PowerTrust — plus the no-reputation baseline across malicious fractions:
+// the bad-service rate, the mechanism's rank accuracy, convergence rounds,
+// and TrustMe's messaging overhead.
+func runE7(w io.Writer, p params) error {
+	n := p.peers(200)
+	rounds := 60
+	if p.quick {
+		rounds = 30
+	}
+	fractions := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	type mkMech struct {
+		name string
+		make func() (reputation.Mechanism, error)
+	}
+	mechs := []mkMech{
+		{"none", func() (reputation.Mechanism, error) { return reputation.NewNone(n), nil }},
+		{"eigentrust", func() (reputation.Mechanism, error) {
+			return eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1, 2}})
+		}},
+		{"powertrust", func() (reputation.Mechanism, error) {
+			return powertrust.New(powertrust.Config{N: n})
+		}},
+		{"trustme", func() (reputation.Mechanism, error) {
+			return trustme.New(trustme.Config{N: n})
+		}},
+	}
+	tab := metrics.NewTable(
+		fmt.Sprintf("E7: bad-service rate by mechanism and malicious fraction (%d peers, %d rounds)", n, rounds),
+		"malicious", "none", "eigentrust", "powertrust", "trustme")
+	taus := metrics.NewTable("E7b: rank accuracy (tau) and cost at 40% malicious",
+		"mechanism", "tau", "converge-rounds", "extra-messages")
+	for _, frac := range fractions {
+		row := []any{frac}
+		for _, mk := range mechs {
+			mech, err := mk.make()
+			if err != nil {
+				return err
+			}
+			eng, err := workload.NewEngine(workload.Config{
+				Seed:           p.seed,
+				NumPeers:       n,
+				Mix:            baseMix(frac),
+				RecomputeEvery: 2,
+			}, mech)
+			if err != nil {
+				return err
+			}
+			eng.Run(rounds)
+			s := eng.Summarize()
+			row = append(row, s.RecentBadRate)
+			if frac == 0.4 {
+				var msgs int64
+				if tm, ok := mech.(*trustme.Mechanism); ok {
+					msgs = tm.Messages
+				}
+				taus.AddRow(mk.name, s.Tau, convergenceRounds(mech, n), msgs)
+			}
+		}
+		tab.AddRow(row...)
+	}
+	tab.Render(w)
+	taus.Render(w)
+
+	// Convergence ablation: PowerTrust's look-ahead random walk vs the
+	// plain walk on the same feedback.
+	la, err := powertrust.New(powertrust.Config{N: 50, Epsilon: 1e-10})
+	if err != nil {
+		return err
+	}
+	plain, err := powertrust.NewPlain(powertrust.Config{N: 50, Epsilon: 1e-10})
+	if err != nil {
+		return err
+	}
+	for _, m := range []reputation.Mechanism{la, plain} {
+		eng, err := workload.NewEngine(workload.Config{
+			Seed: p.seed, NumPeers: 50, Mix: baseMix(0.3), RecomputeEvery: 1000,
+		}, m)
+		if err != nil {
+			return err
+		}
+		eng.Run(20)
+	}
+	fmt.Fprintf(w, "PowerTrust LRW convergence: look-ahead %d rounds vs plain %d rounds\n",
+		la.Compute(), plain.Compute())
+	return nil
+}
+
+// convergenceRounds measures a full from-dirty recompute by submitting one
+// fresh report and recomputing.
+func convergenceRounds(m reputation.Mechanism, n int) int {
+	_ = m.Submit(reputation.Report{TxID: ^uint64(0), Rater: n - 1, Ratee: n - 2, Value: 0.9})
+	return m.Compute()
+}
+
+// runE8 probes the adversary taxonomy of §2.2: each class at 30% of the
+// population, under EigenTrust and PowerTrust, plus the whitewash-reset
+// contrast between neutral-default (TrustMe) and zero-default (EigenTrust)
+// scores.
+func runE8(w io.Writer, p params) error {
+	n := p.peers(150)
+	rounds := 50
+	if p.quick {
+		rounds = 25
+	}
+	classes := []adversary.Class{
+		adversary.Malicious, adversary.Traitor, adversary.Slanderer, adversary.Colluder,
+	}
+	tab := metrics.NewTable("E8: damage by adversary class at 30% (higher tau / lower bad-rate = more robust)",
+		"class", "eigentrust tau", "eigentrust bad", "powertrust tau", "powertrust bad")
+	for _, cls := range classes {
+		mix := adversary.Mix{
+			Fractions: map[adversary.Class]float64{
+				adversary.Honest: 0.7,
+				cls:              0.3,
+			},
+			ForceHonest: []int{0, 1, 2},
+		}
+		row := []any{cls.String()}
+		for _, mechName := range []string{"eigentrust", "powertrust"} {
+			var mech reputation.Mechanism
+			var err error
+			if mechName == "eigentrust" {
+				mech, err = eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1, 2}})
+			} else {
+				mech, err = powertrust.New(powertrust.Config{N: n})
+			}
+			if err != nil {
+				return err
+			}
+			eng, err := workload.NewEngine(workload.Config{
+				Seed:           p.seed,
+				NumPeers:       n,
+				Mix:            mix,
+				RecomputeEvery: 2,
+			}, mech)
+			if err != nil {
+				return err
+			}
+			eng.Run(rounds)
+			s := eng.Summarize()
+			row = append(row, s.Tau, s.RecentBadRate)
+		}
+		tab.AddRow(row...)
+	}
+	tab.Render(w)
+
+	// Whitewash contrast: a badly-rated peer resets its identity.
+	et, err := eigentrust.New(eigentrust.Config{N: 20, Pretrusted: []int{1, 2}})
+	if err != nil {
+		return err
+	}
+	tm, err := trustme.New(trustme.Config{N: 20})
+	if err != nil {
+		return err
+	}
+	tx := uint64(1)
+	for rater := 1; rater < 20; rater++ {
+		for k := 0; k < 3; k++ {
+			r := reputation.Report{TxID: tx, Rater: rater, Ratee: 0, Value: 0.05}
+			if err := et.Submit(r); err != nil {
+				return err
+			}
+			if err := tm.Submit(r); err != nil {
+				return err
+			}
+			tx++
+			// Some good peers also rate each other so peer 0 is not the
+			// only scored peer.
+			other := reputation.Report{TxID: tx, Rater: rater, Ratee: (rater % 19) + 1, Value: 0.9}
+			if other.Rater != other.Ratee {
+				_ = et.Submit(other)
+				_ = tm.Submit(other)
+			}
+			tx++
+		}
+	}
+	et.Compute()
+	tm.Compute()
+	etBefore, tmBefore := et.Score(0), tm.Score(0)
+	et.Whitewash(0)
+	tm.Whitewash(0)
+	et.Compute()
+	tm.Compute()
+	wt := metrics.NewTable("E8b: whitewash laundering (peer 0 resets identity after bad ratings)",
+		"mechanism", "score before", "score after reset", "reset gain", "laundered?")
+	wt.AddRow("eigentrust (zero-default)", etBefore, et.Score(0), et.Score(0)-etBefore, et.Score(0)-etBefore > 0.1)
+	wt.AddRow("trustme (neutral-default)", tmBefore, tm.Score(0), tm.Score(0)-tmBefore, tm.Score(0)-tmBefore > 0.1)
+	wt.Render(w)
+	fmt.Fprintf(w, "whitewashing launders TrustMe's neutral default back to %.2f while EigenTrust keeps the newcomer at %.2f\n",
+		tm.Score(0), et.Score(0))
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultsSmall(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-peers", "30", "-epochs", "3", "-rounds", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "final global trust") {
+		t.Fatalf("missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "eigentrust") {
+		t.Fatal("mechanism name missing")
+	}
+}
+
+func TestRunAllMechanisms(t *testing.T) {
+	for _, mech := range []string{"eigentrust", "powertrust", "trustme", "none"} {
+		var sb strings.Builder
+		err := run([]string{"-peers", "20", "-epochs", "2", "-rounds", "3", "-mechanism", mech}, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+	}
+}
+
+func TestRunAllContexts(t *testing.T) {
+	for _, ctx := range []string{"balanced", "privacy", "performance", "marketplace"} {
+		var sb strings.Builder
+		err := run([]string{"-peers", "20", "-epochs", "2", "-rounds", "3", "-context", ctx}, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v", ctx, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-mechanism", "nope"},
+		{"-context", "nope"},
+		{"-malicious", "0.8", "-selfish", "0.5"},
+		{"-bogusflag"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunWithGateAndSelfish(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-peers", "25", "-epochs", "2", "-rounds", "3",
+		"-gate", "0.3", "-selfish", "0.2", "-malicious", "0.2", "-coupled=false"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "system trusted") {
+		t.Fatal("verdict line missing")
+	}
+}

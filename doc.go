@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Trust your Social
+// Network According to Satisfaction, Reputation and Privacy" (Busnel,
+// Serrano-Alvarado, Lamarre — 3rd ACM Workshop on Reliability, Availability
+// and Security, 2010).
+//
+// The library lives under internal/: the paper's contribution (the
+// correlated three-facet trust model, its §3 coupling dynamics, and the §4
+// tradeoff explorer) is in internal/core, built on from-scratch substrates —
+// a discrete-event simulator, graph generators, a P2P overlay with gossip
+// and churn, a Chord-style DHT, the three cited reputation mechanisms
+// (EigenTrust, TrustMe, PowerTrust), the Quiané-Ruiz satisfaction model and
+// a P3P/OECD/PriServ privacy stack.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// Benchmarks in bench_test.go regenerate every figure-level result
+// (go test -bench=. -benchmem).
+package repro

@@ -1,0 +1,234 @@
+package repro
+
+// End-to-end integration tests: the full stack wired together the way the
+// examples and experiments use it, plus cross-substrate scenarios (churn +
+// DHT repair + reputation, whitewashing through the overlay).
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/overlay"
+	"repro/internal/privacy"
+	"repro/internal/reputation"
+	"repro/internal/reputation/eigentrust"
+	"repro/internal/reputation/trustme"
+	"repro/internal/sim"
+	"repro/internal/social"
+	"repro/internal/workload"
+)
+
+func TestEndToEndCoupledSystem(t *testing.T) {
+	// The full pipeline: graph -> behaviours -> interactions -> mechanism
+	// -> facets -> trust -> coupling, for every mechanism.
+	mechs := map[string]func() (reputation.Mechanism, error){
+		"eigentrust": func() (reputation.Mechanism, error) {
+			return eigentrust.New(eigentrust.Config{N: 60, Pretrusted: []int{0, 1}})
+		},
+		"trustme": func() (reputation.Mechanism, error) {
+			return trustme.New(trustme.Config{N: 60})
+		},
+		"none": func() (reputation.Mechanism, error) {
+			return reputation.NewNone(60), nil
+		},
+	}
+	for name, mk := range mechs {
+		t.Run(name, func(t *testing.T) {
+			mech, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dyn, err := core.NewDynamics(core.DynamicsConfig{
+				Workload: workload.Config{
+					Seed:     99,
+					NumPeers: 60,
+					Mix: adversary.Mix{
+						Fractions: map[adversary.Class]float64{
+							adversary.Honest:    0.6,
+							adversary.Malicious: 0.2,
+							adversary.Selfish:   0.1,
+							adversary.Traitor:   0.1,
+						},
+						ForceHonest: []int{0, 1},
+					},
+					Disclosure:     0.7,
+					RecomputeEvery: 2,
+				},
+				Coupled:     true,
+				EpochRounds: 6,
+			}, mech)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hist, err := dyn.Run(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range hist {
+				for _, v := range []float64{e.Trust, e.Satisfaction, e.Reputation, e.Privacy} {
+					if v < 0 || v > 1 || math.IsNaN(v) {
+						t.Fatalf("%s epoch %d out of range: %+v", name, e.Epoch, e)
+					}
+				}
+			}
+			if !dyn.TrustModel().SystemTrusted(0.2, 0.5) {
+				t.Fatalf("%s: median trust below 0.2 in a mixed population", name)
+			}
+		})
+	}
+}
+
+func TestEndToEndChurnWithTrustMeRepair(t *testing.T) {
+	// TrustMe's THA storage must survive overlay churn when the ring is
+	// stabilized after membership changes.
+	m, err := trustme.New(trustme.Config{N: 40, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := uint64(1)
+	for rater := 1; rater < 40; rater++ {
+		for _, ratee := range []int{0, 5, 10} {
+			if rater == ratee {
+				continue
+			}
+			if err := m.Submit(reputation.Report{TxID: tx, Rater: rater, Ratee: ratee, Value: 0.9}); err != nil {
+				t.Fatal(err)
+			}
+			tx++
+		}
+	}
+	m.Compute()
+	want := m.Score(0)
+
+	// Churn: an overlay with a churner decides who is alive; dead peers
+	// leave the THA ring, survivors stabilize it.
+	s := sim.New()
+	net := overlay.NewNetwork(s, sim.NewRNG(3), 40, overlay.Config{})
+	ch, err := overlay.StartChurn(net, overlay.ChurnConfig{Period: 10, LeaveProb: 0.05, RejoinProb: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 10; step++ {
+		if err := s.Run(s.Now() + 10); err != nil {
+			t.Fatal(err)
+		}
+		alive := map[int]bool{}
+		for _, id := range net.AliveIDs() {
+			alive[int(id)] = true
+		}
+		// Mirror membership into the ring.
+		load := m.Ring().LoadByNode()
+		for addr := range load {
+			if !alive[addr] {
+				m.Ring().Leave(addr)
+			}
+		}
+		for id := range alive {
+			if _, ok := load[id]; !ok {
+				_ = m.Ring().Join(id) // rejoining address may already be present
+			}
+		}
+		m.Ring().Stabilize()
+	}
+	if ch.Leaves == 0 {
+		t.Fatal("churn produced no departures")
+	}
+	if m.Ring().Size() == 0 {
+		t.Fatal("ring emptied")
+	}
+	m.Whitewash(39) // unrelated peer resets — must not disturb others
+	m.Compute()
+	if got := m.Score(0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("score drifted through churn: %v -> %v", want, got)
+	}
+}
+
+func TestEndToEndPrivacyServiceUnderDHTChurn(t *testing.T) {
+	ring := dht.NewRing(3)
+	for i := 0; i < 30; i++ {
+		if err := ring.Join(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.Stabilize()
+	ledger := privacy.NewLedger()
+	s := sim.New()
+	svc, err := privacy.NewService(ring, ledger, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := privacy.DefaultPolicy(social.Low)
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("it/%d", i)
+		if err := svc.Publish(i, key, []byte{byte(i)}, social.Low, pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A third of the storage nodes fail; stabilization repairs replicas.
+	for i := 0; i < 10; i++ {
+		ring.Leave(i * 3)
+	}
+	ring.Stabilize()
+	granted := 0
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("it/%d", i)
+		if _, _, err := svc.Request(25, key, privacy.Read, privacy.SocialUse, 0.9, true); err == nil {
+			granted++
+		}
+	}
+	if granted != 20 {
+		t.Fatalf("only %d/20 items readable after churn+repair", granted)
+	}
+	if err := svc.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range privacy.Audit(svc, ledger, s.Now()) {
+		if !r.Pass {
+			t.Fatalf("principle %v failed after churn: %s", r.Principle, r.Detail)
+		}
+	}
+}
+
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() []float64 {
+		mech, err := eigentrust.New(eigentrust.Config{N: 50, Pretrusted: []int{0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyn, err := core.NewDynamics(core.DynamicsConfig{
+			Workload: workload.Config{
+				Seed:     123,
+				NumPeers: 50,
+				Mix: adversary.Mix{
+					Fractions:   map[adversary.Class]float64{adversary.Honest: 0.6, adversary.Colluder: 0.4},
+					ForceHonest: []int{0},
+				},
+				RecomputeEvery: 3,
+			},
+			Coupled:     true,
+			EpochRounds: 5,
+		}, mech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist, err := dyn.Run(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(hist))
+		for i, e := range hist {
+			out[i] = e.Trust
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("identical seeds diverged at epoch %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

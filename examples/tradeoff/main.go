@@ -1,0 +1,69 @@
+// Tradeoff: sweep the quantity of shared information and print the
+// Figure-2-right curves — privacy satisfaction falls, reputation power
+// rises, and the same global satisfaction is reachable at different
+// settings. Then ask the optimizer for the best setting under two different
+// applicative contexts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/reputation"
+	"repro/internal/reputation/eigentrust"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := core.ExploreConfig{
+		Base: workload.Config{
+			Seed:     11,
+			NumPeers: 100,
+			Mix: adversary.Mix{
+				Fractions: map[adversary.Class]float64{
+					adversary.Honest:    0.7,
+					adversary.Malicious: 0.3,
+				},
+				ForceHonest: []int{0, 1, 2},
+			},
+			RecomputeEvery: 2,
+		},
+		Mechanism: func(n int) (reputation.Mechanism, error) {
+			return eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1, 2}})
+		},
+		Rounds: 30,
+	}
+
+	var priv, rep, sat metrics.Series
+	priv.Name, rep.Name, sat.Name = "privacy", "reputation-power", "global-satisfaction"
+	for i := 0; i <= 8; i++ {
+		d := float64(i) / 8
+		pt, err := core.EvaluateSetting(cfg, core.Setting{Disclosure: d})
+		if err != nil {
+			log.Fatal(err)
+		}
+		priv.Add(d, pt.Global.Privacy)
+		rep.Add(d, pt.Global.Reputation)
+		sat.Add(d, pt.Global.Satisfaction)
+	}
+	metrics.RenderSeries(os.Stdout, "sharing more helps reputation, costs privacy (Fig. 2 right)",
+		"disclosure", &priv, &rep, &sat)
+
+	// The optimizer finds different best settings for different contexts.
+	cfg.GridSize = 4
+	for _, ctx := range []core.Context{core.PrivacyCritical, core.PerformanceCritical} {
+		c := cfg
+		c.Weights = core.ContextWeights(ctx)
+		pt, err := core.Optimize(c, core.Constraints{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s context: best setting disclosure=%.2f gate=%.2f (trust %.3f, S=%.2f R=%.2f P=%.2f)\n",
+			ctx, pt.Setting.Disclosure, pt.Setting.TrustGate, pt.Trust,
+			pt.Global.Satisfaction, pt.Global.Reputation, pt.Global.Privacy)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/reputation"
+	"repro/internal/workload"
+)
+
+// Assessment carries the per-user facets extracted from a running scenario
+// plus the shared reputation-power measurement.
+type Assessment struct {
+	PerUser []Facets
+	// Power is the reputation facet shared by every user (the mechanism is
+	// a system-wide artifact): measured power damped by the community
+	// conclusion.
+	Power float64
+	// Tau and Separation are Power's two components: rank consistency with
+	// realized behaviour, and good/bad discrimination (AUC).
+	Tau        float64
+	Separation float64
+	// Community is the mechanism's conclusion about the population: the
+	// fraction of rated peers it considers trustworthy (1 for mechanisms
+	// that draw no such conclusion). §3: "the set of those levels may
+	// indicate the trustworthy of the global system".
+	Community float64
+}
+
+// Assess extracts all three facets from a workload engine.
+//
+//   - Satisfaction: the user's long-run satisfaction, averaged over her
+//     consumer and provider roles (§2.1).
+//   - Reputation: the mechanism's power — the mean of (a) rank consistency
+//     with realized behaviour (Kendall tau mapped to [0,1]) and (b) the
+//     probability the mechanism ranks a well-behaved peer above a
+//     misbehaved one (AUC over served peers). Both are calibration-free:
+//     mechanisms report scores on incomparable scales (§4: "consistency
+//     with the reality").
+//   - Privacy: the ledger-backed privacy facet (policy respect × retained
+//     information), 1 when no ledger is attached.
+func Assess(e *workload.Engine) Assessment {
+	sum := e.Summarize()
+	n := len(e.ConsumerSatisfactions())
+
+	// Separation (AUC) over served peers: good = realized quality >= 0.5.
+	served := make(map[int]bool)
+	for _, i := range e.Network().Interactions() {
+		served[i.Provider] = true
+	}
+	gt := e.Network().GroundTruthQuality()
+	scores := e.Mechanism().Scores()
+	var goodScores, badScores []float64
+	for p := range served {
+		if gt[p] >= 0.5 {
+			goodScores = append(goodScores, scores[p])
+		} else {
+			badScores = append(badScores, scores[p])
+		}
+	}
+	tau01 := (sum.Tau + 1) / 2
+	separation := auc(goodScores, badScores)
+	power := tau01
+	if !math.IsNaN(separation) {
+		power = (tau01 + separation) / 2
+	} else {
+		separation = tau01
+	}
+
+	// §3 claim 4: an efficient mechanism that concludes the majority is
+	// untrustworthy lowers trust towards the system. The reputation facet
+	// is the mechanism's power damped by its community conclusion.
+	community := 1.0
+	if ca, ok := e.Mechanism().(reputation.CommunityAssessor); ok {
+		community = ca.TrustworthyFraction()
+	}
+	repFacet := power * (0.5 + 0.5*community)
+
+	cons := e.ConsumerSatisfactions()
+	prov := e.ProviderSatisfactions()
+	priv := e.PrivacyFacets()
+	per := make([]Facets, n)
+	for u := 0; u < n; u++ {
+		per[u] = Facets{
+			Satisfaction: (cons[u] + prov[u]) / 2,
+			Reputation:   repFacet,
+			Privacy:      priv[u],
+		}
+	}
+	return Assessment{PerUser: per, Power: repFacet, Tau: sum.Tau, Separation: separation, Community: community}
+}
+
+// auc returns the probability a random good peer outranks a random bad one
+// (ties count half). NaN when either class is empty.
+func auc(good, bad []float64) float64 {
+	if len(good) == 0 || len(bad) == 0 {
+		return math.NaN()
+	}
+	wins := 0.0
+	for _, g := range good {
+		for _, b := range bad {
+			switch {
+			case g > b:
+				wins++
+			case g == b:
+				wins += 0.5
+			}
+		}
+	}
+	return wins / float64(len(good)*len(bad))
+}
+
+// GlobalFacets averages an assessment into a single Facets value.
+func (a Assessment) GlobalFacets() Facets {
+	if len(a.PerUser) == 0 {
+		return Facets{Satisfaction: 0.5, Reputation: a.Power, Privacy: 1}
+	}
+	s := make([]float64, len(a.PerUser))
+	p := make([]float64, len(a.PerUser))
+	for i, f := range a.PerUser {
+		s[i] = f.Satisfaction
+		p[i] = f.Privacy
+	}
+	return Facets{
+		Satisfaction: metrics.Mean(s),
+		Reputation:   a.Power,
+		Privacy:      metrics.Mean(p),
+	}
+}

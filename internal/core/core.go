@@ -1,0 +1,263 @@
+// Package core implements the paper's primary contribution: the correlated
+// three-facet analysis of trust towards the system. A user's trust is a
+// joint function of her satisfaction (§2.1), the power of the reputation
+// mechanism (§2.2) and the respect of her privacy (§2.3); the facets are
+// coupled by the feedback loops of §3; and §4's "generic metric" guides a
+// designer to the settings that maximize trust under application
+// constraints (the tradeoff explorer).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// Facets holds one user's three facet values, each in [0,1].
+type Facets struct {
+	// Satisfaction is the long-run satisfaction of §2.1.
+	Satisfaction float64
+	// Reputation is the perceived power of the reputation mechanism
+	// ("reliability, efficiency and most of all, consistency with the
+	// reality", §4).
+	Reputation float64
+	// Privacy is the satisfaction in terms of privacy guarantees (§4).
+	Privacy float64
+}
+
+// Valid reports whether all facets are within [0,1].
+func (f Facets) Valid() bool {
+	for _, v := range []float64{f.Satisfaction, f.Reputation, f.Privacy} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Weights weighs the facets in the combined metric. Weights must be
+// non-negative and not all zero.
+type Weights struct {
+	Satisfaction float64
+	Reputation   float64
+	Privacy      float64
+}
+
+// DefaultWeights balances the three facets equally.
+func DefaultWeights() Weights { return Weights{1, 1, 1} }
+
+// Validate checks the weights.
+func (w Weights) Validate() error {
+	if w.Satisfaction < 0 || w.Reputation < 0 || w.Privacy < 0 {
+		return fmt.Errorf("core: negative facet weight %+v", w)
+	}
+	if w.Satisfaction+w.Reputation+w.Privacy == 0 {
+		return fmt.Errorf("core: all facet weights are zero")
+	}
+	return nil
+}
+
+// Context is an applicative context (§4: the right settings "depend on the
+// applicative context requirements"); each context weighs the facets
+// differently.
+type Context int
+
+// Applicative contexts with preset weight profiles.
+const (
+	// Balanced weighs all facets equally.
+	Balanced Context = iota + 1
+	// PrivacyCritical models, e.g., a health-data social network.
+	PrivacyCritical
+	// PerformanceCritical models, e.g., a file-sharing community where
+	// service quality dominates.
+	PerformanceCritical
+	// MarketplaceContext models a transaction market where the reputation
+	// mechanism's power dominates.
+	MarketplaceContext
+)
+
+// String returns the context name.
+func (c Context) String() string {
+	switch c {
+	case Balanced:
+		return "balanced"
+	case PrivacyCritical:
+		return "privacy-critical"
+	case PerformanceCritical:
+		return "performance-critical"
+	case MarketplaceContext:
+		return "marketplace"
+	default:
+		return fmt.Sprintf("context(%d)", int(c))
+	}
+}
+
+// ContextWeights returns the preset weights for a context.
+func ContextWeights(c Context) Weights {
+	switch c {
+	case PrivacyCritical:
+		return Weights{Satisfaction: 1, Reputation: 0.5, Privacy: 3}
+	case PerformanceCritical:
+		return Weights{Satisfaction: 3, Reputation: 1, Privacy: 0.5}
+	case MarketplaceContext:
+		return Weights{Satisfaction: 1, Reputation: 3, Privacy: 1}
+	default:
+		return DefaultWeights()
+	}
+}
+
+// Combine is the generic metric Φ of §4: the weighted geometric mean of the
+// facets. The geometric form encodes the paper's key observation that the
+// facets are complementary AND antagonistic: a zero on any weighted facet
+// zeroes trust — deficits cannot be traded away — while balanced facets
+// combine multiplicatively.
+func Combine(f Facets, w Weights) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if !f.Valid() {
+		return 0, fmt.Errorf("core: facets %+v out of [0,1]", f)
+	}
+	total := w.Satisfaction + w.Reputation + w.Privacy
+	// 0^0 := 1 (a zero-weighted facet is ignored entirely).
+	term := func(v, wt float64) float64 {
+		if wt == 0 {
+			return 0
+		}
+		if v == 0 {
+			return math.Inf(-1)
+		}
+		return wt * math.Log(v)
+	}
+	logSum := term(f.Satisfaction, w.Satisfaction) +
+		term(f.Reputation, w.Reputation) +
+		term(f.Privacy, w.Privacy)
+	if math.IsInf(logSum, -1) {
+		return 0, nil
+	}
+	return math.Exp(logSum / total), nil
+}
+
+// CombineArithmetic is the ablation variant of the metric: a weighted
+// arithmetic mean, which allows one facet to compensate for another's
+// collapse. The ablation benchmark contrasts the two.
+func CombineArithmetic(f Facets, w Weights) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if !f.Valid() {
+		return 0, fmt.Errorf("core: facets %+v out of [0,1]", f)
+	}
+	total := w.Satisfaction + w.Reputation + w.Privacy
+	return (w.Satisfaction*f.Satisfaction + w.Reputation*f.Reputation + w.Privacy*f.Privacy) / total, nil
+}
+
+// TrustModel tracks per-user trust towards the system, smoothed with
+// inertia: trust is a durable judgment, not an instantaneous readout.
+// Users may carry individual weight profiles (§3: "each user of the system
+// can have her own perception of the level of trust she can have in the
+// system").
+type TrustModel struct {
+	weights     Weights
+	userWeights map[int]Weights
+	inertia     float64
+	trust       []float64
+	started     []bool
+}
+
+// NewTrustModel creates a model for n users. inertia in [0,1) is the weight
+// of the previous trust value in each update (0 = memoryless).
+func NewTrustModel(n int, w Weights, inertia float64) (*TrustModel, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: trust model needs n > 0, got %d", n)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if inertia < 0 || inertia >= 1 {
+		return nil, fmt.Errorf("core: inertia %v out of [0,1)", inertia)
+	}
+	m := &TrustModel{weights: w, inertia: inertia}
+	m.trust = make([]float64, n)
+	m.started = make([]bool, n)
+	for i := range m.trust {
+		m.trust[i] = 0.5 // initial neutral trust
+	}
+	return m, nil
+}
+
+// N returns the number of users tracked.
+func (m *TrustModel) N() int { return len(m.trust) }
+
+// SetUserWeights installs an individual weight profile for one user,
+// overriding the model default (a privacy-sensitive user may weigh the
+// privacy facet far higher than her peers).
+func (m *TrustModel) SetUserWeights(user int, w Weights) error {
+	if user < 0 || user >= len(m.trust) {
+		return fmt.Errorf("core: user %d out of range [0,%d)", user, len(m.trust))
+	}
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if m.userWeights == nil {
+		m.userWeights = make(map[int]Weights)
+	}
+	m.userWeights[user] = w
+	return nil
+}
+
+func (m *TrustModel) weightsFor(user int) Weights {
+	if w, ok := m.userWeights[user]; ok {
+		return w
+	}
+	return m.weights
+}
+
+// Update folds a user's current facets into her trust and returns the new
+// value.
+func (m *TrustModel) Update(user int, f Facets) (float64, error) {
+	if user < 0 || user >= len(m.trust) {
+		return 0, fmt.Errorf("core: user %d out of range [0,%d)", user, len(m.trust))
+	}
+	instant, err := Combine(f, m.weightsFor(user))
+	if err != nil {
+		return 0, err
+	}
+	if !m.started[user] {
+		m.trust[user] = instant
+		m.started[user] = true
+	} else {
+		m.trust[user] = m.inertia*m.trust[user] + (1-m.inertia)*instant
+	}
+	return m.trust[user], nil
+}
+
+// Trust returns a user's current trust (0.5 before any update).
+func (m *TrustModel) Trust(user int) float64 {
+	if user < 0 || user >= len(m.trust) {
+		return 0
+	}
+	return m.trust[user]
+}
+
+// Trusts returns all users' trust values.
+func (m *TrustModel) Trusts() []float64 {
+	out := make([]float64, len(m.trust))
+	copy(out, m.trust)
+	return out
+}
+
+// GlobalTrust is the system-level trust: the mean over users (§3
+// distinguishes each user's perception from the system "considered globally
+// as trusted or not").
+func (m *TrustModel) GlobalTrust() float64 {
+	return metrics.Mean(m.trust)
+}
+
+// SystemTrusted reports whether the system counts as globally trusted:
+// the q-quantile of user trust reaches the threshold — i.e. at least
+// (1−q) of users trust the system at `threshold` or more.
+func (m *TrustModel) SystemTrusted(threshold, q float64) bool {
+	return metrics.Quantile(m.trust, q) >= threshold
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/privacy"
+	"repro/internal/reputation"
+	"repro/internal/workload"
+)
+
+// DynamicsConfig configures the coupled-feedback simulation of §3 / Fig. 1.
+type DynamicsConfig struct {
+	// Workload is the scenario template. Its Disclosure field is the base
+	// disclosure δ_base.
+	Workload workload.Config
+	// Weights combine the facets into trust (default DefaultWeights).
+	Weights Weights
+	// Inertia smooths trust across epochs (default 0.5).
+	Inertia float64
+	// BaseHonesty h0 is the truthful-reporting probability at zero trust;
+	// honesty rises to 1 with full trust (default 0.3).
+	BaseHonesty float64
+	// EpochRounds is how many workload rounds one coupling epoch spans
+	// (default 10).
+	EpochRounds int
+	// Coupled enables the §3 feedback loops. When false, disclosure and
+	// honesty stay pinned at their base values (the E1 ablation).
+	Coupled bool
+	// ExposureScale normalizes ledger exposure (default 50).
+	ExposureScale float64
+}
+
+func (c DynamicsConfig) withDefaults() DynamicsConfig {
+	if c.Weights == (Weights{}) {
+		c.Weights = DefaultWeights()
+	}
+	if c.Inertia == 0 {
+		c.Inertia = 0.5
+	}
+	if c.BaseHonesty == 0 {
+		c.BaseHonesty = 0.3
+	}
+	if c.EpochRounds <= 0 {
+		c.EpochRounds = 10
+	}
+	if c.ExposureScale == 0 {
+		c.ExposureScale = 50
+	}
+	return c
+}
+
+// EpochStats records the coupled system's state after one epoch.
+type EpochStats struct {
+	Epoch int
+	// Trust is the mean trust towards the system.
+	Trust float64
+	// Satisfaction, Reputation, Privacy are the mean facet values.
+	Satisfaction, Reputation, Privacy float64
+	// Disclosure and Honesty are the mean realized coupling variables.
+	Disclosure, Honesty float64
+	// BadRate is the epoch's bad-service rate.
+	BadRate float64
+	// Tau is the current reputation/ground-truth rank correlation.
+	Tau float64
+	// Community is the mechanism's conclusion: the fraction of rated peers
+	// it considers trustworthy.
+	Community float64
+}
+
+// Dynamics runs the coupled three-facet system: each epoch measures the
+// facets, updates every user's trust, and — when coupled — feeds trust back
+// into disclosure willingness ("the less a user trusts towards the system,
+// the less she discloses information") and honest contribution ("the more a
+// user trusts towards the system, the more she contributes honestly").
+type Dynamics struct {
+	cfg            DynamicsConfig
+	eng            *workload.Engine
+	tm             *TrustModel
+	ledger         *privacy.Ledger
+	baseDisclosure float64
+	disclosure     []float64
+	honesty        []float64
+	epoch          int
+	history        []EpochStats
+}
+
+// NewDynamics builds the coupled system around a mechanism sized for
+// cfg.Workload.NumPeers.
+func NewDynamics(cfg DynamicsConfig, mech reputation.Mechanism) (*Dynamics, error) {
+	cfg = cfg.withDefaults()
+	eng, err := workload.NewEngine(cfg.Workload, mech)
+	if err != nil {
+		return nil, fmt.Errorf("core: dynamics: %w", err)
+	}
+	n := cfg.Workload.NumPeers
+	tm, err := NewTrustModel(n, cfg.Weights, cfg.Inertia)
+	if err != nil {
+		return nil, err
+	}
+	ledger := privacy.NewLedger()
+	eng.AttachLedger(ledger, cfg.ExposureScale)
+	d := &Dynamics{
+		cfg:        cfg,
+		eng:        eng,
+		tm:         tm,
+		ledger:     ledger,
+		disclosure: make([]float64, n),
+		honesty:    make([]float64, n),
+	}
+	base := cfg.Workload.Disclosure
+	if base == 0 {
+		base = 1 // config zero value means "default"; see SetBaseDisclosure
+	}
+	d.baseDisclosure = base
+	for i := 0; i < n; i++ {
+		d.disclosure[i] = base
+		d.honesty[i] = 1 // first epoch: behaviour-class honesty as-is
+	}
+	return d, nil
+}
+
+// SetBaseDisclosure overrides δ_base, including a true zero (which the
+// Config zero value cannot express). It resets every user's current
+// disclosure to the new base.
+func (d *Dynamics) SetBaseDisclosure(v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("core: base disclosure %v out of [0,1]", v)
+	}
+	d.baseDisclosure = v
+	for i := range d.disclosure {
+		d.disclosure[i] = v
+	}
+	return nil
+}
+
+// TrustModel exposes the trust state.
+func (d *Dynamics) TrustModel() *TrustModel { return d.tm }
+
+// Engine exposes the underlying workload engine.
+func (d *Dynamics) Engine() *workload.Engine { return d.eng }
+
+// History returns the recorded epochs.
+func (d *Dynamics) History() []EpochStats {
+	out := make([]EpochStats, len(d.history))
+	copy(out, d.history)
+	return out
+}
+
+// Epoch runs one coupling epoch and returns its stats.
+func (d *Dynamics) Epoch() (EpochStats, error) {
+	n := d.cfg.Workload.NumPeers
+	// 1. Install this epoch's coupling variables.
+	d.eng.SetDisclosure(d.disclosure)
+	if d.epoch > 0 || d.cfg.Coupled {
+		d.eng.SetHonestOverride(d.honesty)
+	}
+
+	// 2. Run the workload.
+	before := len(d.eng.Network().Interactions())
+	badBefore := badCount(d.eng, before)
+	d.eng.Run(d.cfg.EpochRounds)
+	after := len(d.eng.Network().Interactions())
+	bad := badCount(d.eng, after) - badBefore
+	interactions := after - before
+
+	// 3. Measure facets and update trust.
+	assess := Assess(d.eng)
+	for u := 0; u < n; u++ {
+		if _, err := d.tm.Update(u, assess.PerUser[u]); err != nil {
+			return EpochStats{}, err
+		}
+	}
+
+	// 4. Close the §3 loops for the next epoch.
+	base := d.baseDisclosure
+	if d.cfg.Coupled {
+		for u := 0; u < n; u++ {
+			t := d.tm.Trust(u)
+			// δ_u = δ_base · 2T (clamped): neutral trust keeps the base,
+			// distrust withholds, strong trust discloses up to fully.
+			delta := base * 2 * t
+			if delta > 1 {
+				delta = 1
+			}
+			if delta < 0 {
+				delta = 0
+			}
+			d.disclosure[u] = delta
+			d.honesty[u] = d.cfg.BaseHonesty + (1-d.cfg.BaseHonesty)*t
+		}
+	} else {
+		for u := 0; u < n; u++ {
+			d.disclosure[u] = base
+			d.honesty[u] = d.cfg.BaseHonesty + (1-d.cfg.BaseHonesty)*0.5
+		}
+	}
+
+	g := assess.GlobalFacets()
+	st := EpochStats{
+		Epoch:        d.epoch,
+		Trust:        d.tm.GlobalTrust(),
+		Satisfaction: g.Satisfaction,
+		Reputation:   g.Reputation,
+		Privacy:      g.Privacy,
+		Disclosure:   metrics.Mean(d.disclosure),
+		Honesty:      metrics.Mean(d.honesty),
+		Tau:          assess.Tau,
+		Community:    assess.Community,
+	}
+	if interactions > 0 {
+		st.BadRate = float64(bad) / float64(interactions)
+	}
+	d.epoch++
+	d.history = append(d.history, st)
+	return st, nil
+}
+
+// Run executes n epochs.
+func (d *Dynamics) Run(n int) ([]EpochStats, error) {
+	for i := 0; i < n; i++ {
+		if _, err := d.Epoch(); err != nil {
+			return nil, err
+		}
+	}
+	return d.History(), nil
+}
+
+func badCount(e *workload.Engine, upto int) int {
+	bad := 0
+	log := e.Network().Interactions()
+	if upto > len(log) {
+		upto = len(log)
+	}
+	for _, i := range log[:upto] {
+		if i.Quality < 0.5 {
+			bad++
+		}
+	}
+	return bad
+}
+
+// MapConfig configures the abstract trust/satisfaction iterated map used to
+// verify §3's first claim ("the more a user trusts towards the system, the
+// more she is satisfied, and the more she is satisfied, the more she
+// trusts") without simulation noise.
+type MapConfig struct {
+	// Reputation and Privacy are held fixed.
+	Reputation, Privacy float64
+	// Weights combine the facets (default DefaultWeights).
+	Weights Weights
+	// Inertia smooths the trust update (default 0.5).
+	Inertia float64
+	// SatBase and SatGain define the satisfaction response
+	// s = SatBase + SatGain·T (clamped to [0,1]); the positive gain is the
+	// "more trust ⇒ more satisfaction" half of the loop.
+	SatBase, SatGain float64
+}
+
+func (c MapConfig) withDefaults() MapConfig {
+	if c.Weights == (Weights{}) {
+		c.Weights = DefaultWeights()
+	}
+	if c.Inertia == 0 {
+		c.Inertia = 0.5
+	}
+	if c.SatGain == 0 {
+		c.SatGain = 0.8
+	}
+	if c.SatBase == 0 {
+		c.SatBase = 0.1
+	}
+	return c
+}
+
+// RunIteratedMap iterates the two-way trust/satisfaction coupling from t0
+// for `steps` steps and returns the trust trajectory (first element t0).
+func RunIteratedMap(t0 float64, steps int, cfg MapConfig) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	if t0 < 0 || t0 > 1 {
+		return nil, fmt.Errorf("core: initial trust %v out of [0,1]", t0)
+	}
+	traj := make([]float64, 0, steps+1)
+	traj = append(traj, t0)
+	t := t0
+	for k := 0; k < steps; k++ {
+		s := cfg.SatBase + cfg.SatGain*t
+		if s > 1 {
+			s = 1
+		}
+		if s < 0 {
+			s = 0
+		}
+		phi, err := Combine(Facets{Satisfaction: s, Reputation: cfg.Reputation, Privacy: cfg.Privacy}, cfg.Weights)
+		if err != nil {
+			return nil, err
+		}
+		t = cfg.Inertia*t + (1-cfg.Inertia)*phi
+		traj = append(traj, t)
+	}
+	return traj, nil
+}

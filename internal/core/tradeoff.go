@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/reputation"
+	"repro/internal/workload"
+)
+
+// Setting is one point in the settable-configuration space of §4 / Fig. 2:
+// how much information participants share (the privacy/reputation
+// antagonism's driver), and how strictly privacy policies gate service via
+// their minimal-trust clause.
+type Setting struct {
+	// Disclosure δ ∈ [0,1]: the quantity of shared information.
+	Disclosure float64
+	// TrustGate σ ∈ [0,1): the strictness of the policies' MinTrustLevel
+	// clause (quantile form, see workload.Config.TrustGate).
+	TrustGate float64
+}
+
+// Point is an evaluated setting.
+type Point struct {
+	Setting Setting
+	// Global holds the measured global facets at this setting.
+	Global Facets
+	// Trust is the generic metric Φ applied to the global facets.
+	Trust float64
+}
+
+// MechanismFactory builds a fresh mechanism for n peers; every evaluated
+// setting gets its own mechanism so settings do not contaminate each other.
+type MechanismFactory func(n int) (reputation.Mechanism, error)
+
+// ExploreConfig configures the tradeoff exploration.
+type ExploreConfig struct {
+	// Base is the scenario template; its Disclosure and TrustGate fields
+	// are overridden per point.
+	Base workload.Config
+	// Mechanism builds the scoring engine per point (default EigenTrust is
+	// NOT assumed — the factory is required).
+	Mechanism MechanismFactory
+	// Rounds per evaluation (default 30).
+	Rounds int
+	// Weights combine facets into trust (default DefaultWeights).
+	Weights Weights
+	// GridSize is the number of points per axis (default 5).
+	GridSize int
+	// Thresholds define Area A membership: a setting belongs to the
+	// intersection area when every measured global facet reaches its
+	// threshold (default 0.5 each).
+	Thresholds Facets
+	// ExposureScale normalizes ledger exposure (default 50).
+	ExposureScale float64
+}
+
+func (c ExploreConfig) withDefaults() (ExploreConfig, error) {
+	if c.Mechanism == nil {
+		return c, fmt.Errorf("core: explore requires a mechanism factory")
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 30
+	}
+	if c.Weights == (Weights{}) {
+		c.Weights = DefaultWeights()
+	}
+	if c.GridSize < 2 {
+		c.GridSize = 5
+	}
+	if c.Thresholds == (Facets{}) {
+		c.Thresholds = Facets{Satisfaction: 0.5, Reputation: 0.5, Privacy: 0.5}
+	}
+	if c.ExposureScale == 0 {
+		c.ExposureScale = 50
+	}
+	return c, nil
+}
+
+// EvaluateSetting measures the global facets and trust of one setting by
+// running a fresh scenario.
+func EvaluateSetting(cfg ExploreConfig, s Setting) (Point, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Point{}, err
+	}
+	if s.Disclosure < 0 || s.Disclosure > 1 || s.TrustGate < 0 || s.TrustGate >= 1 {
+		return Point{}, fmt.Errorf("core: setting %+v out of range", s)
+	}
+	wcfg := cfg.Base
+	wcfg.Disclosure = s.Disclosure
+	wcfg.TrustGate = s.TrustGate
+	mech, err := cfg.Mechanism(wcfg.NumPeers)
+	if err != nil {
+		return Point{}, fmt.Errorf("core: mechanism factory: %w", err)
+	}
+	dyn, err := NewDynamics(DynamicsConfig{
+		Workload:      wcfg,
+		Weights:       cfg.Weights,
+		EpochRounds:   cfg.Rounds,
+		Coupled:       false, // explore measures the setting, not the feedback
+		ExposureScale: cfg.ExposureScale,
+	}, mech)
+	if err != nil {
+		return Point{}, err
+	}
+	// The Config zero value means "default 1"; the explorer needs a true
+	// zero-disclosure point, so set the base explicitly.
+	if err := dyn.SetBaseDisclosure(s.Disclosure); err != nil {
+		return Point{}, err
+	}
+	if _, err := dyn.Epoch(); err != nil {
+		return Point{}, err
+	}
+	assess := Assess(dyn.Engine())
+	g := assess.GlobalFacets()
+	trust, err := Combine(g, cfg.Weights)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{Setting: s, Global: g, Trust: trust}, nil
+}
+
+// ExploreResult is the outcome of a grid exploration.
+type ExploreResult struct {
+	// Points is the full grid, disclosure-major then gate.
+	Points []Point
+	// AreaA are the points whose facets all reach the thresholds — the
+	// intersection region of Fig. 2 (left).
+	AreaA []Point
+	// Best is the maximum-trust point over the whole grid.
+	Best Point
+	// BestInAreaA is the maximum-trust point inside Area A (zero Point
+	// when the area is empty).
+	BestInAreaA Point
+	// AreaFraction is |AreaA| / |Points|.
+	AreaFraction float64
+}
+
+// Explore sweeps the (disclosure, trust-gate) grid and classifies Area A.
+func Explore(cfg ExploreConfig) (*ExploreResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &ExploreResult{}
+	g := cfg.GridSize
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			s := Setting{
+				Disclosure: float64(i) / float64(g-1),
+				TrustGate:  0.9 * float64(j) / float64(g-1),
+			}
+			p, err := EvaluateSetting(cfg, s)
+			if err != nil {
+				return nil, fmt.Errorf("core: explore (%v,%v): %w", s.Disclosure, s.TrustGate, err)
+			}
+			res.Points = append(res.Points, p)
+			if p.Trust > res.Best.Trust {
+				res.Best = p
+			}
+			if inArea(p.Global, cfg.Thresholds) {
+				res.AreaA = append(res.AreaA, p)
+				if p.Trust > res.BestInAreaA.Trust {
+					res.BestInAreaA = p
+				}
+			}
+		}
+	}
+	if len(res.Points) > 0 {
+		res.AreaFraction = float64(len(res.AreaA)) / float64(len(res.Points))
+	}
+	return res, nil
+}
+
+func inArea(f, thresholds Facets) bool {
+	return f.Satisfaction >= thresholds.Satisfaction &&
+		f.Reputation >= thresholds.Reputation &&
+		f.Privacy >= thresholds.Privacy
+}
+
+// Constraints are minimum facet levels an application context imposes (§4:
+// "maximize the users' trust towards the system while respecting the
+// system/application constrains").
+type Constraints struct {
+	MinSatisfaction, MinReputation, MinPrivacy float64
+}
+
+func (c Constraints) satisfiedBy(f Facets) bool {
+	return f.Satisfaction >= c.MinSatisfaction &&
+		f.Reputation >= c.MinReputation &&
+		f.Privacy >= c.MinPrivacy
+}
+
+// ErrInfeasible is returned when no explored setting meets the constraints.
+var ErrInfeasible = fmt.Errorf("core: no setting satisfies the constraints")
+
+// Optimize finds the maximum-trust setting subject to constraints: a coarse
+// grid pass followed by local hill-climbing refinement around the best
+// feasible point.
+func Optimize(cfg ExploreConfig, cons Constraints) (Point, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Point{}, err
+	}
+	res, err := Explore(cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	best := Point{Trust: -1}
+	for _, p := range res.Points {
+		if cons.satisfiedBy(p.Global) && p.Trust > best.Trust {
+			best = p
+		}
+	}
+	if best.Trust < 0 {
+		return Point{}, ErrInfeasible
+	}
+	// Hill climb with shrinking steps.
+	step := 1.0 / float64(cfg.GridSize-1)
+	for iter := 0; iter < 4; iter++ {
+		improved := false
+		for _, d := range [][2]float64{{step, 0}, {-step, 0}, {0, step}, {0, -step}} {
+			s := Setting{
+				Disclosure: clampTo(best.Setting.Disclosure+d[0], 0, 1),
+				TrustGate:  clampTo(best.Setting.TrustGate+d[1], 0, 0.9),
+			}
+			if s == best.Setting {
+				continue
+			}
+			p, err := EvaluateSetting(cfg, s)
+			if err != nil {
+				return Point{}, err
+			}
+			if cons.satisfiedBy(p.Global) && p.Trust > best.Trust {
+				best = p
+				improved = true
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return best, nil
+}
+
+func clampTo(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

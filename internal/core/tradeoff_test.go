@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/reputation"
+	"repro/internal/reputation/eigentrust"
+	"repro/internal/workload"
+)
+
+func exploreConfig() ExploreConfig {
+	return ExploreConfig{
+		Base: workload.Config{
+			Seed:     7,
+			NumPeers: 30,
+			Mix: adversary.Mix{Fractions: map[adversary.Class]float64{
+				adversary.Honest:    0.7,
+				adversary.Malicious: 0.3,
+			}},
+			RecomputeEvery: 2,
+		},
+		Mechanism: func(n int) (reputation.Mechanism, error) {
+			return eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1}})
+		},
+		Rounds:   20,
+		GridSize: 3,
+	}
+}
+
+func TestEvaluateSettingBounds(t *testing.T) {
+	cfg := exploreConfig()
+	if _, err := EvaluateSetting(cfg, Setting{Disclosure: -0.1}); err == nil {
+		t.Fatal("negative disclosure accepted")
+	}
+	if _, err := EvaluateSetting(cfg, Setting{TrustGate: 1}); err == nil {
+		t.Fatal("gate=1 accepted")
+	}
+	p, err := EvaluateSetting(cfg, Setting{Disclosure: 0.8, TrustGate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Global.Valid() || p.Trust < 0 || p.Trust > 1 {
+		t.Fatalf("point = %+v", p)
+	}
+}
+
+func TestExploreRequiresFactory(t *testing.T) {
+	cfg := exploreConfig()
+	cfg.Mechanism = nil
+	if _, err := Explore(cfg); err == nil {
+		t.Fatal("missing factory accepted")
+	}
+}
+
+func TestDisclosureAntinomy(t *testing.T) {
+	// Figure 2 right: less shared information => higher privacy facet but
+	// lower reputation power; full disclosure reverses both.
+	cfg := exploreConfig()
+	low, err := EvaluateSetting(cfg, Setting{Disclosure: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := EvaluateSetting(cfg, Setting{Disclosure: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Global.Privacy <= high.Global.Privacy {
+		t.Fatalf("privacy not higher at low disclosure: %v vs %v",
+			low.Global.Privacy, high.Global.Privacy)
+	}
+	if low.Global.Reputation >= high.Global.Reputation {
+		t.Fatalf("reputation power not higher at full disclosure: %v vs %v",
+			low.Global.Reputation, high.Global.Reputation)
+	}
+}
+
+func TestExploreGridAndAreaA(t *testing.T) {
+	cfg := exploreConfig()
+	cfg.Thresholds = Facets{Satisfaction: 0.3, Reputation: 0.3, Privacy: 0.1}
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 9 {
+		t.Fatalf("grid size = %d", len(res.Points))
+	}
+	if res.Best.Trust <= 0 {
+		t.Fatalf("best point trust = %v", res.Best.Trust)
+	}
+	if len(res.AreaA) == 0 {
+		t.Fatal("Area A empty with generous thresholds")
+	}
+	if res.AreaFraction <= 0 || res.AreaFraction > 1 {
+		t.Fatalf("area fraction = %v", res.AreaFraction)
+	}
+	// Every Area A member meets the thresholds.
+	for _, p := range res.AreaA {
+		if p.Global.Satisfaction < 0.3 || p.Global.Reputation < 0.3 || p.Global.Privacy < 0.1 {
+			t.Fatalf("non-member in Area A: %+v", p)
+		}
+	}
+	if res.BestInAreaA.Trust > res.Best.Trust {
+		t.Fatal("area-constrained best exceeds global best")
+	}
+}
+
+func TestOptimizeRespectsConstraints(t *testing.T) {
+	cfg := exploreConfig()
+	cons := Constraints{MinPrivacy: 0.5}
+	p, err := Optimize(cfg, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Global.Privacy < 0.5 {
+		t.Fatalf("optimizer violated privacy constraint: %+v", p)
+	}
+	// An unconstrained optimum must be at least as good.
+	free, err := Optimize(cfg, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Trust < p.Trust-1e-9 {
+		t.Fatalf("unconstrained optimum %v below constrained %v", free.Trust, p.Trust)
+	}
+}
+
+func TestOptimizeInfeasible(t *testing.T) {
+	cfg := exploreConfig()
+	_, err := Optimize(cfg, Constraints{MinPrivacy: 0.999, MinReputation: 0.999, MinSatisfaction: 0.999})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestDifferentContextsDifferentOptima(t *testing.T) {
+	// §4 / E10: the max-trust setting depends on the applicative context.
+	base := exploreConfig()
+
+	privCfg := base
+	privCfg.Weights = ContextWeights(PrivacyCritical)
+	pPriv, err := Optimize(privCfg, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perfCfg := base
+	perfCfg.Weights = ContextWeights(PerformanceCritical)
+	pPerf, err := Optimize(perfCfg, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The privacy-critical optimum must not disclose more than the
+	// performance-critical one (weak inequality: grids are coarse).
+	if pPriv.Setting.Disclosure > pPerf.Setting.Disclosure {
+		t.Fatalf("privacy-critical context disclosed more (%v) than performance-critical (%v)",
+			pPriv.Setting.Disclosure, pPerf.Setting.Disclosure)
+	}
+}

@@ -1,0 +1,124 @@
+package crypto
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestIdentityDeterministic(t *testing.T) {
+	a := NewIdentity(SeedFromUint64(1))
+	b := NewIdentity(SeedFromUint64(1))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same seed produced different identities")
+	}
+	c := NewIdentity(SeedFromUint64(2))
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds collided")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	id := NewIdentity(SeedFromUint64(7))
+	msg := []byte("feedback report")
+	sig := id.Sign(msg)
+	if !Verify(id.Public(), msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(id.Public(), []byte("tampered"), sig) {
+		t.Fatal("tampered message accepted")
+	}
+	other := NewIdentity(SeedFromUint64(8))
+	if Verify(other.Public(), msg, sig) {
+		t.Fatal("wrong key accepted")
+	}
+	if Verify([]byte{1, 2, 3}, msg, sig) {
+		t.Fatal("malformed key accepted")
+	}
+}
+
+func TestPublicReturnsCopy(t *testing.T) {
+	id := NewIdentity(SeedFromUint64(9))
+	p := id.Public()
+	p[0] ^= 0xFF
+	if !Verify(id.Public(), []byte("x"), id.Sign([]byte("x"))) {
+		t.Fatal("mutating returned key corrupted the identity")
+	}
+}
+
+func TestTransactionCertRoundTrip(t *testing.T) {
+	key := []byte("tha-secret")
+	c := SealCert(key, 42, "aa11", "bb22")
+	if err := VerifyCert(key, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransactionCertTamper(t *testing.T) {
+	key := []byte("tha-secret")
+	c := SealCert(key, 42, "aa11", "bb22")
+
+	tampered := c
+	tampered.TxID = 43
+	if err := VerifyCert(key, tampered); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("tampered TxID: err = %v", err)
+	}
+
+	tampered = c
+	tampered.From = "cc33"
+	if err := VerifyCert(key, tampered); !errors.Is(err, ErrBadCertificate) {
+		t.Fatal("tampered From accepted")
+	}
+
+	if err := VerifyCert([]byte("wrong-key"), c); !errors.Is(err, ErrBadCertificate) {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestCertFieldSeparation(t *testing.T) {
+	// ("ab","c") must not collide with ("a","bc"): the MAC uses a separator.
+	key := []byte("k")
+	c1 := SealCert(key, 1, "ab", "c")
+	c2 := TransactionCert{TxID: 1, From: "a", To: "bc", MAC: c1.MAC}
+	if err := VerifyCert(key, c2); err == nil {
+		t.Fatal("field-boundary collision")
+	}
+}
+
+func TestPseudonymChain(t *testing.T) {
+	p := NewPseudonymChain(SeedFromUint64(5))
+	p0 := p.Current()
+	p1, proof := p.Advance()
+	if p0 == p1 {
+		t.Fatal("pseudonym did not change")
+	}
+	if p.Epoch() != 1 {
+		t.Fatalf("epoch = %d", p.Epoch())
+	}
+	if !VerifyAdvance(p0, p1, proof) {
+		t.Fatal("valid advance proof rejected")
+	}
+	var fake [32]byte
+	if VerifyAdvance(p0, p1, fake) {
+		t.Fatal("fake proof accepted")
+	}
+	if VerifyAdvance(p1, p0, proof) {
+		t.Fatal("reversed advance accepted")
+	}
+}
+
+func TestPseudonymChainsIndependent(t *testing.T) {
+	rng := sim.NewRNG(11)
+	a := NewPseudonymChain(SeedFromUint64(rng.Uint64()))
+	b := NewPseudonymChain(SeedFromUint64(rng.Uint64()))
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		pa, _ := a.Advance()
+		pb, _ := b.Advance()
+		if seen[pa] || seen[pb] || pa == pb {
+			t.Fatal("pseudonym collision across chains")
+		}
+		seen[pa], seen[pb] = true, true
+	}
+}

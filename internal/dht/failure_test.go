@@ -1,0 +1,98 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestDataLossBeyondReplication: losing every replica of a key before any
+// stabilization is unrecoverable and must surface as ErrNotFound, not as a
+// silent success or panic.
+func TestDataLossBeyondReplication(t *testing.T) {
+	r := buildRing(t, 20, 2)
+	if err := r.Put("doomed", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range r.ReplicaAddrs("doomed") {
+		r.Leave(addr)
+	}
+	r.Stabilize()
+	if _, err := r.Get("doomed"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound after losing all replicas", err)
+	}
+	// Unrelated keys must be unaffected.
+	if err := r.Put("survivor", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("survivor"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaggeredFailuresWithRepair: losing one replica at a time with
+// stabilization between failures never loses data, even after more total
+// failures than the replication factor.
+func TestStaggeredFailuresWithRepair(t *testing.T) {
+	r := buildRing(t, 30, 3)
+	for i := 0; i < 50; i++ {
+		if err := r.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove 12 nodes (4x the replication factor), one at a time with
+	// repair after each.
+	for i := 0; i < 12; i++ {
+		r.Leave(i)
+		r.Stabilize()
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := r.Get(fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatalf("k%d lost despite staggered repair: %v", i, err)
+		}
+	}
+}
+
+// TestMassSimultaneousFailure measures survival at the replication
+// boundary: with k=3 and a third of the ring failing simultaneously, the
+// expected fraction of lost keys is (1/3)^3 ≈ 3.7%; all survivors must
+// read consistently.
+func TestMassSimultaneousFailure(t *testing.T) {
+	r := buildRing(t, 60, 3)
+	const nkeys = 300
+	for i := 0; i < nkeys; i++ {
+		if err := r.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		r.Leave(i * 3)
+	}
+	r.Stabilize()
+	lost := 0
+	for i := 0; i < nkeys; i++ {
+		v, err := r.Get(fmt.Sprintf("k%d", i))
+		switch {
+		case errors.Is(err, ErrNotFound):
+			lost++
+		case err != nil:
+			t.Fatalf("unexpected error: %v", err)
+		case v[0] != byte(i):
+			t.Fatalf("k%d corrupted: %v", i, v)
+		}
+	}
+	// 3.7% expected; anything above 15% indicates replica placement is
+	// broken rather than unlucky.
+	if lost > nkeys*15/100 {
+		t.Fatalf("lost %d/%d keys — far beyond the replication bound", lost, nkeys)
+	}
+}
+
+// TestLeaveUnknownAddressIsNoop ensures fault handling is defensive.
+func TestLeaveUnknownAddressIsNoop(t *testing.T) {
+	r := buildRing(t, 5, 2)
+	r.Leave(999)
+	if r.Size() != 5 {
+		t.Fatal("phantom leave changed ring size")
+	}
+}

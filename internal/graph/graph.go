@@ -1,0 +1,298 @@
+// Package graph implements the directed weighted graph substrate used for
+// social networks, trust overlays and feedback graphs throughout the
+// reproduction: adjacency storage, classic random-graph generators
+// (Erdős–Rényi, Barabási–Albert, Watts–Strogatz) and structural metrics.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Edge is a weighted directed edge.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// Graph is a directed weighted multigraph-free graph over nodes 0..N-1.
+// Adding an edge that already exists overwrites its weight.
+type Graph struct {
+	n   int
+	out []map[int]float64
+	in  []map[int]float64
+}
+
+// New returns an empty graph with n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	g := &Graph{
+		n:   n,
+		out: make([]map[int]float64, n),
+		in:  make([]map[int]float64, n),
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddNode appends a new isolated node and returns its id.
+func (g *Graph) AddNode() int {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.n++
+	return g.n - 1
+}
+
+func (g *Graph) valid(v int) bool { return v >= 0 && v < g.n }
+
+// SetEdge adds or updates the directed edge u->v with weight w.
+// It returns an error for out-of-range nodes or self-loops.
+func (g *Graph) SetEdge(u, v int, w float64) error {
+	if !g.valid(u) || !g.valid(v) {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d rejected", u)
+	}
+	if g.out[u] == nil {
+		g.out[u] = make(map[int]float64)
+	}
+	if g.in[v] == nil {
+		g.in[v] = make(map[int]float64)
+	}
+	g.out[u][v] = w
+	g.in[v][u] = w
+	return nil
+}
+
+// AddEdgeBoth adds edges in both directions with the same weight.
+func (g *Graph) AddEdgeBoth(u, v int, w float64) error {
+	if err := g.SetEdge(u, v, w); err != nil {
+		return err
+	}
+	return g.SetEdge(v, u, w)
+}
+
+// RemoveEdge deletes u->v if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	if !g.valid(u) || !g.valid(v) {
+		return
+	}
+	delete(g.out[u], v)
+	delete(g.in[v], u)
+}
+
+// HasEdge reports whether u->v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if !g.valid(u) || !g.valid(v) {
+		return false
+	}
+	_, ok := g.out[u][v]
+	return ok
+}
+
+// Weight returns the weight of u->v and whether the edge exists.
+func (g *Graph) Weight(u, v int) (float64, bool) {
+	if !g.valid(u) {
+		return 0, false
+	}
+	w, ok := g.out[u][v]
+	return w, ok
+}
+
+// OutDegree returns the out-degree of u (0 if out of range).
+func (g *Graph) OutDegree(u int) int {
+	if !g.valid(u) {
+		return 0
+	}
+	return len(g.out[u])
+}
+
+// InDegree returns the in-degree of u (0 if out of range).
+func (g *Graph) InDegree(u int) int {
+	if !g.valid(u) {
+		return 0
+	}
+	return len(g.in[u])
+}
+
+// Out returns u's out-edges sorted by destination (deterministic order).
+func (g *Graph) Out(u int) []Edge {
+	if !g.valid(u) {
+		return nil
+	}
+	return sortedEdges(g.out[u])
+}
+
+// In returns u's in-edges sorted by source.
+func (g *Graph) In(u int) []Edge {
+	if !g.valid(u) {
+		return nil
+	}
+	return sortedEdges(g.in[u])
+}
+
+func sortedEdges(m map[int]float64) []Edge {
+	es := make([]Edge, 0, len(m))
+	for v, w := range m {
+		es = append(es, Edge{To: v, Weight: w})
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].To < es[j].To })
+	return es
+}
+
+// Neighbors returns the sorted out-neighbor ids of u.
+func (g *Graph) Neighbors(u int) []int {
+	es := g.Out(u)
+	ids := make([]int, len(es))
+	for i, e := range es {
+		ids[i] = e.To
+	}
+	return ids
+}
+
+// NumEdges returns the total directed edge count.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, m := range g.out {
+		total += len(m)
+	}
+	return total
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u, m := range g.out {
+		for v, w := range m {
+			_ = c.SetEdge(u, v, w) // edges in g are valid by construction
+		}
+	}
+	return c
+}
+
+// ErdosRenyi generates a directed G(n, p) graph (no self-loops).
+func ErdosRenyi(rng *sim.RNG, n int, p float64) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Bool(p) {
+				_ = g.SetEdge(u, v, 1)
+			}
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert generates an undirected (symmetric) preferential-attachment
+// graph: each new node attaches to m existing nodes with probability
+// proportional to their degree. The first m+1 nodes form a clique.
+// The result has the heavy-tailed degree distribution typical of social
+// networks, which is the graph family the reproduced experiments default to.
+func BarabasiAlbert(rng *sim.RNG, n, m int) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	g := New(n)
+	// Repeated-endpoint list implements preferential attachment in O(1).
+	var endpoints []int
+	for u := 0; u <= m; u++ {
+		for v := 0; v < u; v++ {
+			_ = g.AddEdgeBoth(u, v, 1)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	for u := m + 1; u < n; u++ {
+		chosen := make(map[int]bool, m)
+		targets := make([]int, 0, m) // selection order: keeps runs deterministic
+		for len(targets) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			if t != u && !chosen[t] {
+				chosen[t] = true
+				targets = append(targets, t)
+			}
+		}
+		for _, v := range targets {
+			_ = g.AddEdgeBoth(u, v, 1)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return g
+}
+
+// WattsStrogatz generates an undirected small-world graph: a ring lattice
+// where each node connects to k nearest neighbors (k rounded down to even),
+// then each edge is rewired with probability beta.
+func WattsStrogatz(rng *sim.RNG, n, k int, beta float64) *Graph {
+	if n < 3 {
+		n = 3
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k >= n {
+		k = n - 1
+	}
+	k -= k % 2
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			_ = g.AddEdgeBoth(u, v, 1)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			if !g.HasEdge(u, v) || !rng.Bool(beta) {
+				continue
+			}
+			// Rewire u--v to u--w for a uniformly random non-neighbor w.
+			for tries := 0; tries < 32; tries++ {
+				w := rng.Intn(n)
+				if w == u || g.HasEdge(u, w) {
+					continue
+				}
+				g.RemoveEdge(u, v)
+				g.RemoveEdge(v, u)
+				_ = g.AddEdgeBoth(u, w, 1)
+				break
+			}
+		}
+	}
+	return g
+}
+
+// Ring generates an undirected ring of n nodes.
+func Ring(n int) *Graph {
+	if n < 3 {
+		n = 3
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		_ = g.AddEdgeBoth(u, (u+1)%n, 1)
+	}
+	return g
+}
+
+// Complete generates the complete directed graph on n nodes.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				_ = g.SetEdge(u, v, 1)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,234 @@
+// Package metrics provides the statistics and reporting toolkit used by the
+// experiment harness: streaming moments (Welford), histograms, rank
+// correlation (Kendall tau), time series and fixed-width ASCII tables that
+// mirror the rows/series reported in the paper's figures.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Stream accumulates streaming mean and variance using Welford's algorithm.
+// The zero value is an empty stream ready for use.
+type Stream struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the stream.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int64 { return s.n }
+
+// Mean returns the running mean (0 for an empty stream).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 points).
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for an empty stream).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty stream).
+func (s *Stream) Max() float64 { return s.max }
+
+// Merge folds another stream into s (parallel-Welford combination).
+func (s *Stream) Merge(o *Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	mean := s.mean + delta*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation. It copies and sorts its input; xs is not modified.
+// An empty slice yields 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// KendallTau returns the Kendall rank correlation coefficient (tau-b,
+// handling ties) between two equal-length score vectors. It returns 0 for
+// degenerate inputs (length < 2, mismatched lengths, or all-tied vectors).
+//
+// The experiment harness uses it as the "reputation power / consistency with
+// reality" metric of the paper's Figure 2: correlation between mechanism
+// scores and ground-truth peer behaviour.
+func KendallTau(a, b []float64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 0
+	}
+	var concordant, discordant float64
+	var tiesA, tiesB float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da == 0 && db == 0:
+				tiesA++
+				tiesB++
+			case da == 0:
+				tiesA++
+			case db == 0:
+				tiesB++
+			case da*db > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	n0 := float64(n*(n-1)) / 2
+	denom := math.Sqrt((n0 - tiesA) * (n0 - tiesB))
+	if denom == 0 {
+		return 0
+	}
+	return (concordant - discordant) / denom
+}
+
+// Pearson returns the Pearson linear correlation of two equal-length vectors
+// (0 for degenerate inputs).
+func Pearson(a, b []float64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Histogram is a fixed-bin histogram over [lo, hi). Values outside the range
+// are clamped into the first/last bin.
+type Histogram struct {
+	lo, hi float64
+	bins   []int64
+	n      int64
+}
+
+// NewHistogram returns a histogram with nbins bins over [lo, hi).
+// nbins < 1 is clamped to 1, and hi <= lo is widened to lo+1.
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins < 1 {
+		nbins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int64, nbins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.bins) {
+		idx = len(h.bins) - 1
+	}
+	h.bins[idx]++
+	h.n++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Bins returns a copy of the bin counts.
+func (h *Histogram) Bins() []int64 {
+	out := make([]int64, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.n == 0 || i < 0 || i >= len(h.bins) {
+		return 0
+	}
+	return float64(h.bins[i]) / float64(h.n)
+}

@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almostEqual(s.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Var = %v, want %v", s.Var(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Var() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Fatal("empty stream has nonzero stats")
+	}
+}
+
+func TestStreamMergeMatchesSequential(t *testing.T) {
+	rng := sim.NewRNG(1)
+	f := func(seed uint16) bool {
+		r := sim.NewRNG(uint64(seed) + 1)
+		n := 3 + r.Intn(50)
+		var whole, a, b Stream
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64()*3 + 1
+			whole.Add(x)
+			if i < n/2 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		return almostEqual(a.Mean(), whole.Mean(), 1e-9) &&
+			almostEqual(a.Var(), whole.Var(), 1e-9) &&
+			a.N() == whole.N() &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamMergeEmptySides(t *testing.T) {
+	var a, b Stream
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatal("merge with empty changed stream")
+	}
+	var c Stream
+	c.Merge(&a) // merging into empty copies
+	if c.N() != 1 || c.Mean() != 3 {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be modified.
+	if xs[0] != 5 {
+		t.Fatal("Quantile sorted its input in place")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile != 0")
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.3); !almostEqual(got, 3, 1e-12) {
+		t.Fatalf("interpolated quantile = %v, want 3", got)
+	}
+}
+
+func TestKendallTauPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 20, 30, 40, 50}
+	if got := KendallTau(a, b); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("tau = %v, want 1", got)
+	}
+	rev := []float64{50, 40, 30, 20, 10}
+	if got := KendallTau(a, rev); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("tau = %v, want -1", got)
+	}
+}
+
+func TestKendallTauDegenerate(t *testing.T) {
+	if KendallTau([]float64{1}, []float64{2}) != 0 {
+		t.Fatal("singleton tau != 0")
+	}
+	if KendallTau([]float64{1, 2}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("mismatched-length tau != 0")
+	}
+	if KendallTau([]float64{3, 3, 3}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("all-tied tau != 0")
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	// Hand-computed tau-b example with one tie in each vector.
+	a := []float64{1, 2, 2, 3}
+	b := []float64{1, 2, 3, 3}
+	// Pairs: (1,2):C (1,2):C (1,3):C (2,2)tieA:(2,3) - a tied, b differs -> tieA
+	// (2,3):C (2,3): a differs (2<3), b tied (3,3) -> tieB. n0=6.
+	// C=4, D=0, tiesA=1, tiesB=1 => tau = 4/sqrt(5*5) = 0.8
+	if got := KendallTau(a, b); !almostEqual(got, 0.8, 1e-12) {
+		t.Fatalf("tau-b = %v, want 0.8", got)
+	}
+}
+
+func TestKendallTauNoisyMonotone(t *testing.T) {
+	r := sim.NewRNG(99)
+	n := 100
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(i)
+		b[i] = float64(i) + r.NormFloat64()*2
+	}
+	if got := KendallTau(a, b); got < 0.8 {
+		t.Fatalf("noisy monotone tau = %v, want > 0.8", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if got := Pearson(a, b); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	c := []float64{8, 6, 4, 2}
+	if got := Pearson(a, c); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+	if Pearson(a, []float64{5, 5, 5, 5}) != 0 {
+		t.Fatal("constant-vector Pearson != 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Bins() {
+		if c != 1 {
+			t.Fatalf("bin %d = %d, want 1", i, c)
+		}
+	}
+	// Clamping.
+	h.Add(-5)
+	h.Add(99)
+	bins := h.Bins()
+	if bins[0] != 2 || bins[9] != 2 {
+		t.Fatalf("clamping failed: %v", bins)
+	}
+	if h.N() != 12 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if !almostEqual(h.Fraction(0), 2.0/12.0, 1e-12) {
+		t.Fatalf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramDegenerateArgs(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // hi<=lo and nbins<1 both clamped
+	h.Add(5)
+	if h.N() != 1 {
+		t.Fatal("degenerate histogram unusable")
+	}
+	if h.Fraction(-1) != 0 || h.Fraction(5) != 0 {
+		t.Fatal("out-of-range Fraction != 0")
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("Mean = %v", got)
+	}
+}

@@ -1,0 +1,87 @@
+package overlay
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ChurnConfig describes a Poisson-like churn process: at every period, each
+// live node leaves with probability LeaveProb; departed nodes rejoin with
+// probability RejoinProb. With WhitewashProb, a rejoining node instead comes
+// back under a brand-new identity (the paper's §2.2 "whitewashers").
+type ChurnConfig struct {
+	Period        sim.Time
+	LeaveProb     float64
+	RejoinProb    float64
+	WhitewashProb float64
+	// NewIdentity builds the handler for a whitewashed identity; it receives
+	// the old id and the fresh id. Required only when WhitewashProb > 0.
+	NewIdentity func(old, fresh NodeID) Handler
+}
+
+// Churner drives the churn process on a network.
+type Churner struct {
+	net  *Network
+	cfg  ChurnConfig
+	rng  *sim.RNG
+	dead []NodeID
+	// Whitewashes counts identity resets performed.
+	Whitewashes int
+	// Leaves and Rejoins count churn events.
+	Leaves, Rejoins int
+	stop            func()
+}
+
+// StartChurn begins the churn process. It returns an error if the config is
+// inconsistent.
+func StartChurn(net *Network, cfg ChurnConfig) (*Churner, error) {
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("overlay: churn period must be positive, got %d", cfg.Period)
+	}
+	if cfg.WhitewashProb > 0 && cfg.NewIdentity == nil {
+		return nil, fmt.Errorf("overlay: WhitewashProb %.2f requires NewIdentity", cfg.WhitewashProb)
+	}
+	c := &Churner{net: net, cfg: cfg, rng: net.RNG().Split()}
+	cancel, err := net.Sim().Every(cfg.Period, c.tick)
+	if err != nil {
+		return nil, err
+	}
+	c.stop = cancel
+	return c, nil
+}
+
+// Stop halts future churn events.
+func (c *Churner) Stop() {
+	if c.stop != nil {
+		c.stop()
+	}
+}
+
+func (c *Churner) tick() {
+	// Departures.
+	for _, id := range c.net.AliveIDs() {
+		if c.rng.Bool(c.cfg.LeaveProb) {
+			c.net.Kill(id)
+			c.dead = append(c.dead, id)
+			c.Leaves++
+		}
+	}
+	// Rejoins.
+	remaining := c.dead[:0]
+	for _, id := range c.dead {
+		if !c.rng.Bool(c.cfg.RejoinProb) {
+			remaining = append(remaining, id)
+			continue
+		}
+		c.Rejoins++
+		if c.rng.Bool(c.cfg.WhitewashProb) {
+			fresh := c.net.Join(nil)
+			_ = c.net.SetHandler(fresh, c.cfg.NewIdentity(id, fresh)) // fresh id is valid
+			c.Whitewashes++
+		} else {
+			c.net.Revive(id)
+		}
+	}
+	c.dead = remaining
+}

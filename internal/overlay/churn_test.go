@@ -1,0 +1,103 @@
+package overlay
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestChurnLeavesAndRejoins(t *testing.T) {
+	s, net := newTestNet(t, 100, Config{})
+	ch, err := StartChurn(net, ChurnConfig{
+		Period:     10,
+		LeaveProb:  0.1,
+		RejoinProb: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Leaves == 0 {
+		t.Fatal("no departures in 50 churn ticks at 10% leave rate")
+	}
+	if ch.Rejoins == 0 {
+		t.Fatal("no rejoins")
+	}
+	alive := len(net.AliveIDs())
+	if alive == 0 || alive == 100 {
+		t.Fatalf("alive = %d, expected churning population strictly between 0 and 100", alive)
+	}
+	if net.Size() != 100 {
+		t.Fatalf("size grew to %d without whitewashing", net.Size())
+	}
+}
+
+func TestChurnWhitewashing(t *testing.T) {
+	s, net := newTestNet(t, 50, Config{})
+	var freshIDs []NodeID
+	ch, err := StartChurn(net, ChurnConfig{
+		Period:        10,
+		LeaveProb:     0.2,
+		RejoinProb:    0.8,
+		WhitewashProb: 1.0,
+		NewIdentity: func(old, fresh NodeID) Handler {
+			freshIDs = append(freshIDs, fresh)
+			return func(m Message) {}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Whitewashes == 0 {
+		t.Fatal("no whitewashes")
+	}
+	if ch.Whitewashes != len(freshIDs) {
+		t.Fatalf("counter %d != callbacks %d", ch.Whitewashes, len(freshIDs))
+	}
+	if net.Size() != 50+ch.Whitewashes {
+		t.Fatalf("size = %d, want %d", net.Size(), 50+ch.Whitewashes)
+	}
+	for _, id := range freshIDs {
+		if int(id) < 50 {
+			t.Fatalf("whitewashed identity reused old slot %d", id)
+		}
+	}
+}
+
+func TestChurnConfigValidation(t *testing.T) {
+	_, net := newTestNet(t, 5, Config{})
+	if _, err := StartChurn(net, ChurnConfig{Period: 0}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := StartChurn(net, ChurnConfig{Period: 5, WhitewashProb: 0.5}); err == nil {
+		t.Fatal("whitewash without NewIdentity accepted")
+	}
+}
+
+func TestChurnStop(t *testing.T) {
+	s, net := newTestNet(t, 100, Config{})
+	ch, err := StartChurn(net, ChurnConfig{Period: 10, LeaveProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	leavesAtStop := ch.Leaves
+	if leavesAtStop == 0 {
+		t.Fatal("no leaves in first tick with LeaveProb=1")
+	}
+	ch.Stop()
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Leaves != leavesAtStop {
+		t.Fatal("churn continued after Stop")
+	}
+	_ = sim.Time(0)
+}

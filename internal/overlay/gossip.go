@@ -1,0 +1,218 @@
+package overlay
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// PeerSampler implements a push-pull partial-view peer sampling service
+// (Cyclon-style shuffle). Each node keeps a bounded view of peer ids; every
+// round it exchanges half its view with a random neighbor. The sampler is
+// the discovery substrate for gossip aggregation and reputation
+// dissemination.
+type PeerSampler struct {
+	net      *Network
+	viewSize int
+	views    map[NodeID][]NodeID
+	rng      *sim.RNG
+}
+
+// NewPeerSampler builds a sampler with the given view size, seeding each
+// node's view with random other nodes.
+func NewPeerSampler(net *Network, viewSize int) *PeerSampler {
+	if viewSize < 1 {
+		viewSize = 1
+	}
+	ps := &PeerSampler{
+		net:      net,
+		viewSize: viewSize,
+		views:    make(map[NodeID][]NodeID),
+		rng:      net.RNG().Split(),
+	}
+	ids := net.AliveIDs()
+	for _, id := range ids {
+		view := make([]NodeID, 0, viewSize)
+		for _, k := range ps.rng.Sample(len(ids), viewSize+1) {
+			if ids[k] != id && len(view) < viewSize {
+				view = append(view, ids[k])
+			}
+		}
+		ps.views[id] = view
+	}
+	return ps
+}
+
+// Bootstrap introduces a (new) node to the sampler with an initial view of
+// the given seed peers (dead or self entries are skipped). The seeds also
+// learn about the newcomer, so it becomes reachable by shuffling. This is
+// the join path for nodes created after the sampler (e.g. whitewashed
+// identities).
+func (ps *PeerSampler) Bootstrap(id NodeID, seeds []NodeID) {
+	view := make([]NodeID, 0, ps.viewSize)
+	for _, s := range seeds {
+		if len(view) >= ps.viewSize {
+			break
+		}
+		if s != id && ps.net.Alive(s) {
+			view = append(view, s)
+		}
+	}
+	ps.views[id] = view
+	for _, s := range seeds {
+		if s != id && ps.net.Alive(s) {
+			ps.merge(s, []NodeID{id})
+		}
+	}
+}
+
+// View returns a copy of a node's current view.
+func (ps *PeerSampler) View(id NodeID) []NodeID {
+	v := ps.views[id]
+	out := make([]NodeID, len(v))
+	copy(out, v)
+	return out
+}
+
+// RandomPeer returns a uniformly random live peer from id's view, or -1 if
+// the view has no live peer.
+func (ps *PeerSampler) RandomPeer(id NodeID) NodeID {
+	v := ps.views[id]
+	live := make([]NodeID, 0, len(v))
+	for _, p := range v {
+		if ps.net.Alive(p) {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return -1
+	}
+	return live[ps.rng.Intn(len(live))]
+}
+
+// Round performs one synchronous shuffle round for every live node.
+// (The exchange itself is modeled synchronously; what matters for the
+// experiments is the resulting view dynamics, not shuffle-message latency.)
+func (ps *PeerSampler) Round() {
+	for _, id := range ps.net.AliveIDs() {
+		peer := ps.RandomPeer(id)
+		if peer == -1 {
+			continue
+		}
+		ps.exchange(id, peer)
+	}
+}
+
+func (ps *PeerSampler) exchange(a, b NodeID) {
+	half := ps.viewSize/2 + 1
+	sendA := ps.subset(a, half, b)
+	sendB := ps.subset(b, half, a)
+	ps.merge(a, sendB)
+	ps.merge(b, sendA)
+}
+
+func (ps *PeerSampler) subset(id NodeID, k int, exclude NodeID) []NodeID {
+	v := ps.views[id]
+	out := make([]NodeID, 0, k+1)
+	out = append(out, id) // always advertise self
+	for _, i := range ps.rng.Perm(len(v)) {
+		if len(out) > k {
+			break
+		}
+		if v[i] != exclude {
+			out = append(out, v[i])
+		}
+	}
+	return out
+}
+
+func (ps *PeerSampler) merge(id NodeID, incoming []NodeID) {
+	seen := map[NodeID]bool{id: true}
+	merged := make([]NodeID, 0, ps.viewSize)
+	// Prefer fresh incoming entries, then old view.
+	for _, p := range incoming {
+		if !seen[p] && ps.net.Alive(p) {
+			seen[p] = true
+			merged = append(merged, p)
+		}
+	}
+	for _, p := range ps.views[id] {
+		if len(merged) >= ps.viewSize {
+			break
+		}
+		if !seen[p] && ps.net.Alive(p) {
+			seen[p] = true
+			merged = append(merged, p)
+		}
+	}
+	ps.views[id] = merged
+}
+
+// Aggregator runs push-pull gossip averaging: after enough rounds every
+// node's value converges to the network mean. Used to disseminate global
+// facet estimates (e.g. system-wide satisfaction) without a coordinator.
+type Aggregator struct {
+	ps     *PeerSampler
+	values map[NodeID]float64
+}
+
+// NewAggregator starts an averaging computation from each node's initial
+// value.
+func NewAggregator(ps *PeerSampler, initial map[NodeID]float64) *Aggregator {
+	vals := make(map[NodeID]float64, len(initial))
+	for k, v := range initial {
+		vals[k] = v
+	}
+	return &Aggregator{ps: ps, values: vals}
+}
+
+// Value returns node id's current estimate.
+func (a *Aggregator) Value(id NodeID) float64 { return a.values[id] }
+
+// Round performs one push-pull averaging round over live nodes.
+func (a *Aggregator) Round() {
+	ids := a.liveIDs()
+	for _, id := range ids {
+		peer := a.ps.RandomPeer(id)
+		if peer == -1 {
+			continue
+		}
+		if _, ok := a.values[peer]; !ok {
+			continue
+		}
+		avg := (a.values[id] + a.values[peer]) / 2
+		a.values[id] = avg
+		a.values[peer] = avg
+	}
+}
+
+// MaxSpread returns the max minus min estimate across live nodes — the
+// convergence measure.
+func (a *Aggregator) MaxSpread() float64 {
+	ids := a.liveIDs()
+	if len(ids) == 0 {
+		return 0
+	}
+	lo, hi := a.values[ids[0]], a.values[ids[0]]
+	for _, id := range ids[1:] {
+		v := a.values[id]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+func (a *Aggregator) liveIDs() []NodeID {
+	ids := make([]NodeID, 0, len(a.values))
+	for id := range a.values {
+		if a.ps.net.Alive(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,210 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPeerSamplerInitialViews(t *testing.T) {
+	_, net := newTestNet(t, 20, Config{})
+	ps := NewPeerSampler(net, 5)
+	for _, id := range net.AliveIDs() {
+		v := ps.View(id)
+		if len(v) == 0 || len(v) > 5 {
+			t.Fatalf("view size of %d = %d", id, len(v))
+		}
+		for _, p := range v {
+			if p == id {
+				t.Fatalf("node %d has itself in view", id)
+			}
+		}
+	}
+}
+
+func TestPeerSamplerViewIsCopy(t *testing.T) {
+	_, net := newTestNet(t, 10, Config{})
+	ps := NewPeerSampler(net, 4)
+	v := ps.View(0)
+	if len(v) == 0 {
+		t.Fatal("empty view")
+	}
+	orig := v[0]
+	v[0] = 999
+	if ps.View(0)[0] != orig {
+		t.Fatal("View exposed internal slice")
+	}
+}
+
+func TestPeerSamplerMixing(t *testing.T) {
+	_, net := newTestNet(t, 50, Config{})
+	ps := NewPeerSampler(net, 6)
+	before := map[NodeID]bool{}
+	for _, p := range ps.View(0) {
+		before[p] = true
+	}
+	for i := 0; i < 20; i++ {
+		ps.Round()
+	}
+	after := ps.View(0)
+	if len(after) == 0 {
+		t.Fatal("view emptied by shuffling")
+	}
+	changed := false
+	for _, p := range after {
+		if !before[p] {
+			changed = true
+		}
+		if p == 0 {
+			t.Fatal("self in view after shuffle")
+		}
+	}
+	if !changed {
+		t.Fatal("20 shuffle rounds never refreshed node 0's view")
+	}
+}
+
+func TestPeerSamplerPurgesDead(t *testing.T) {
+	_, net := newTestNet(t, 20, Config{})
+	ps := NewPeerSampler(net, 8)
+	for i := 1; i < 10; i++ {
+		net.Kill(NodeID(i))
+	}
+	for i := 0; i < 10; i++ {
+		ps.Round()
+	}
+	for _, id := range net.AliveIDs() {
+		if p := ps.RandomPeer(id); p != -1 && !net.Alive(p) {
+			t.Fatalf("RandomPeer returned dead node %d", p)
+		}
+	}
+}
+
+func TestRandomPeerNoLivePeers(t *testing.T) {
+	_, net := newTestNet(t, 3, Config{})
+	ps := NewPeerSampler(net, 2)
+	net.Kill(1)
+	net.Kill(2)
+	if p := ps.RandomPeer(0); p != -1 {
+		t.Fatalf("RandomPeer = %d, want -1", p)
+	}
+}
+
+func TestBootstrapIntroducesNewNode(t *testing.T) {
+	_, net := newTestNet(t, 10, Config{})
+	ps := NewPeerSampler(net, 4)
+	fresh := net.Join(func(m Message) {})
+	if p := ps.RandomPeer(fresh); p != -1 {
+		t.Fatal("unbootstrapped node has peers")
+	}
+	ps.Bootstrap(fresh, []NodeID{0, 1, 2})
+	if p := ps.RandomPeer(fresh); p == -1 {
+		t.Fatal("bootstrapped node has no peers")
+	}
+	// Seeds learned about the newcomer.
+	found := false
+	for _, s := range []NodeID{0, 1, 2} {
+		for _, v := range ps.View(s) {
+			if v == fresh {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no seed learned about the newcomer")
+	}
+	// After shuffling, the newcomer spreads beyond its seeds.
+	for i := 0; i < 20; i++ {
+		ps.Round()
+	}
+	known := 0
+	for _, id := range net.AliveIDs() {
+		if id == fresh {
+			continue
+		}
+		for _, v := range ps.View(id) {
+			if v == fresh {
+				known++
+			}
+		}
+	}
+	if known < 2 {
+		t.Fatalf("newcomer known by only %d nodes after 20 rounds", known)
+	}
+}
+
+func TestBootstrapSkipsDeadAndSelf(t *testing.T) {
+	_, net := newTestNet(t, 5, Config{})
+	ps := NewPeerSampler(net, 4)
+	net.Kill(1)
+	fresh := net.Join(func(m Message) {})
+	ps.Bootstrap(fresh, []NodeID{fresh, 1, 2})
+	for _, v := range ps.View(fresh) {
+		if v == fresh || v == 1 {
+			t.Fatalf("bootstrap view contains invalid entry %d", v)
+		}
+	}
+}
+
+func TestAggregatorConvergesToMean(t *testing.T) {
+	_, net := newTestNet(t, 64, Config{})
+	ps := NewPeerSampler(net, 8)
+	initial := make(map[NodeID]float64)
+	sum := 0.0
+	for i, id := range net.AliveIDs() {
+		v := float64(i)
+		initial[id] = v
+		sum += v
+	}
+	mean := sum / float64(len(initial))
+	agg := NewAggregator(ps, initial)
+	for r := 0; r < 60; r++ {
+		ps.Round()
+		agg.Round()
+	}
+	if spread := agg.MaxSpread(); spread > 0.5 {
+		t.Fatalf("gossip spread after 60 rounds = %v", spread)
+	}
+	for id := range initial {
+		if math.Abs(agg.Value(id)-mean) > 0.5 {
+			t.Fatalf("node %d estimate %v far from mean %v", id, agg.Value(id), mean)
+		}
+	}
+}
+
+func TestAggregatorPreservesMass(t *testing.T) {
+	_, net := newTestNet(t, 16, Config{})
+	ps := NewPeerSampler(net, 4)
+	initial := make(map[NodeID]float64)
+	sum := 0.0
+	rng := sim.NewRNG(9)
+	for _, id := range net.AliveIDs() {
+		v := rng.Float64() * 10
+		initial[id] = v
+		sum += v
+	}
+	agg := NewAggregator(ps, initial)
+	for r := 0; r < 30; r++ {
+		agg.Round()
+	}
+	total := 0.0
+	for _, id := range net.AliveIDs() {
+		total += agg.Value(id)
+	}
+	if math.Abs(total-sum) > 1e-6 {
+		t.Fatalf("mass not conserved: %v vs %v", total, sum)
+	}
+}
+
+func TestAggregatorEmptyNetwork(t *testing.T) {
+	_, net := newTestNet(t, 2, Config{})
+	ps := NewPeerSampler(net, 2)
+	agg := NewAggregator(ps, map[NodeID]float64{0: 1, 1: 2})
+	net.Kill(0)
+	net.Kill(1)
+	agg.Round() // must not panic
+	if agg.MaxSpread() != 0 {
+		t.Fatal("spread of dead network != 0")
+	}
+}

@@ -1,0 +1,184 @@
+// Package overlay implements the message-passing peer-to-peer substrate the
+// paper's decentralized architecture runs on (§1: "fully distributed
+// solutions"): per-node message handlers, a latency/loss network model on
+// top of the deterministic simulation kernel, node churn (leave, join,
+// whitewashing re-join), and epidemic gossip primitives.
+package overlay
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a peer in the overlay.
+type NodeID int
+
+// Message is a routed overlay message.
+type Message struct {
+	From, To NodeID
+	Kind     string
+	Payload  any
+}
+
+// Handler processes a delivered message at a node.
+type Handler func(msg Message)
+
+// Config controls the network model.
+type Config struct {
+	// LatencyMin/LatencyMax bound the uniform per-message delivery delay
+	// in simulation ticks. Defaults to [1, 1] when unset.
+	LatencyMin, LatencyMax sim.Time
+	// LossRate is the probability a message is silently dropped in flight.
+	LossRate float64
+}
+
+func (c Config) normalized() Config {
+	if c.LatencyMin <= 0 {
+		c.LatencyMin = 1
+	}
+	if c.LatencyMax < c.LatencyMin {
+		c.LatencyMax = c.LatencyMin
+	}
+	if c.LossRate < 0 {
+		c.LossRate = 0
+	}
+	if c.LossRate > 1 {
+		c.LossRate = 1
+	}
+	return c
+}
+
+type nodeState struct {
+	alive   bool
+	handler Handler
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64 // lost in flight or destination dead/absent
+}
+
+// Network is the simulated overlay transport. It is single-threaded: all
+// sends and deliveries happen inside the simulation loop.
+type Network struct {
+	sim   *sim.Sim
+	rng   *sim.RNG
+	cfg   Config
+	nodes []*nodeState
+	stats Stats
+}
+
+// NewNetwork creates an overlay with n initially-alive nodes.
+func NewNetwork(s *sim.Sim, rng *sim.RNG, n int, cfg Config) *Network {
+	if n < 0 {
+		n = 0
+	}
+	net := &Network{sim: s, rng: rng, cfg: cfg.normalized()}
+	net.nodes = make([]*nodeState, n)
+	for i := range net.nodes {
+		net.nodes[i] = &nodeState{alive: true}
+	}
+	return net
+}
+
+// Sim returns the underlying simulation (for scheduling protocol timers).
+func (n *Network) Sim() *sim.Sim { return n.sim }
+
+// RNG returns the network's random stream.
+func (n *Network) RNG() *sim.RNG { return n.rng }
+
+// Size returns the total number of node slots ever created (alive or not).
+func (n *Network) Size() int { return len(n.nodes) }
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetHandler installs the message handler for a node. A nil handler drops
+// all traffic to the node.
+func (n *Network) SetHandler(id NodeID, h Handler) error {
+	if !n.valid(id) {
+		return fmt.Errorf("overlay: node %d out of range", id)
+	}
+	n.nodes[id].handler = h
+	return nil
+}
+
+func (n *Network) valid(id NodeID) bool { return id >= 0 && int(id) < len(n.nodes) }
+
+// Alive reports whether the node exists and is up.
+func (n *Network) Alive(id NodeID) bool {
+	return n.valid(id) && n.nodes[id].alive
+}
+
+// AliveIDs returns the ids of all live nodes in ascending order.
+func (n *Network) AliveIDs() []NodeID {
+	out := make([]NodeID, 0, len(n.nodes))
+	for i, st := range n.nodes {
+		if st.alive {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Kill takes a node offline; in-flight messages to it are dropped on arrival.
+func (n *Network) Kill(id NodeID) {
+	if n.valid(id) {
+		n.nodes[id].alive = false
+	}
+}
+
+// Revive brings a previously killed node back with its handler intact.
+func (n *Network) Revive(id NodeID) {
+	if n.valid(id) {
+		n.nodes[id].alive = true
+	}
+}
+
+// Join adds a brand-new node (a whitewasher's fresh identity) and returns
+// its id.
+func (n *Network) Join(h Handler) NodeID {
+	n.nodes = append(n.nodes, &nodeState{alive: true, handler: h})
+	return NodeID(len(n.nodes) - 1)
+}
+
+// Send routes a message from -> to through the network model. Delivery is
+// scheduled after a uniform random latency; the message may be lost. Sends
+// from dead nodes are dropped immediately (a dead peer cannot transmit).
+func (n *Network) Send(from, to NodeID, kind string, payload any) {
+	n.stats.Sent++
+	if !n.Alive(from) || !n.valid(to) {
+		n.stats.Dropped++
+		return
+	}
+	if n.rng.Bool(n.cfg.LossRate) {
+		n.stats.Dropped++
+		return
+	}
+	lat := n.cfg.LatencyMin
+	if span := n.cfg.LatencyMax - n.cfg.LatencyMin; span > 0 {
+		lat += sim.Time(n.rng.Intn(int(span) + 1))
+	}
+	msg := Message{From: from, To: to, Kind: kind, Payload: payload}
+	n.sim.After(lat, func() {
+		st := n.nodes[to]
+		if !st.alive || st.handler == nil {
+			n.stats.Dropped++
+			return
+		}
+		n.stats.Delivered++
+		st.handler(msg)
+	})
+}
+
+// Broadcast sends the message to every live node except the sender.
+func (n *Network) Broadcast(from NodeID, kind string, payload any) {
+	for _, id := range n.AliveIDs() {
+		if id != from {
+			n.Send(from, id, kind, payload)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package overlay
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newTestNet(t *testing.T, n int, cfg Config) (*sim.Sim, *Network) {
+	t.Helper()
+	s := sim.New()
+	return s, NewNetwork(s, sim.NewRNG(42), n, cfg)
+}
+
+func TestSendDeliver(t *testing.T) {
+	s, net := newTestNet(t, 2, Config{})
+	var got []Message
+	if err := net.SetHandler(1, func(m Message) { got = append(got, m) }); err != nil {
+		t.Fatal(err)
+	}
+	net.Send(0, 1, "ping", 99)
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages", len(got))
+	}
+	m := got[0]
+	if m.From != 0 || m.To != 1 || m.Kind != "ping" || m.Payload.(int) != 99 {
+		t.Fatalf("message = %+v", m)
+	}
+	st := net.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLatencyBounds(t *testing.T) {
+	s, net := newTestNet(t, 2, Config{LatencyMin: 3, LatencyMax: 7})
+	var at []sim.Time
+	_ = net.SetHandler(1, func(m Message) { at = append(at, s.Now()) })
+	for i := 0; i < 200; i++ {
+		net.Send(0, 1, "t", nil)
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != 200 {
+		t.Fatalf("delivered %d", len(at))
+	}
+	seen := map[sim.Time]bool{}
+	for _, tm := range at {
+		if tm < 3 || tm > 7 {
+			t.Fatalf("delivery at %d outside [3,7]", tm)
+		}
+		seen[tm] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("latency not spread across range: %v", seen)
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	s, net := newTestNet(t, 2, Config{LossRate: 0.5})
+	delivered := 0
+	_ = net.SetHandler(1, func(m Message) { delivered++ })
+	const n = 2000
+	for i := 0; i < n; i++ {
+		net.Send(0, 1, "t", nil)
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if delivered < 850 || delivered > 1150 {
+		t.Fatalf("delivered %d of %d with 50%% loss", delivered, n)
+	}
+	st := net.Stats()
+	if st.Delivered+st.Dropped != st.Sent {
+		t.Fatalf("stats don't balance: %+v", st)
+	}
+}
+
+func TestDeadNodesDropTraffic(t *testing.T) {
+	s, net := newTestNet(t, 3, Config{})
+	got := 0
+	_ = net.SetHandler(1, func(m Message) { got++ })
+
+	net.Kill(1)
+	net.Send(0, 1, "x", nil) // dead destination
+	net.Kill(2)
+	net.Send(2, 1, "x", nil) // dead sender
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("dead node received traffic")
+	}
+	if d := net.Stats().Dropped; d != 2 {
+		t.Fatalf("Dropped = %d, want 2", d)
+	}
+
+	net.Revive(1)
+	net.Send(0, 1, "x", nil)
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatal("revived node did not receive traffic")
+	}
+}
+
+func TestInFlightToDyingNodeDropped(t *testing.T) {
+	s, net := newTestNet(t, 2, Config{LatencyMin: 10, LatencyMax: 10})
+	got := 0
+	_ = net.SetHandler(1, func(m Message) { got++ })
+	net.Send(0, 1, "x", nil)
+	s.At(5, func() { net.Kill(1) }) // dies while message is in flight
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("message delivered to node that died in flight")
+	}
+}
+
+func TestJoinAddsNode(t *testing.T) {
+	s, net := newTestNet(t, 1, Config{})
+	got := 0
+	id := net.Join(func(m Message) { got++ })
+	if id != 1 || net.Size() != 2 || !net.Alive(id) {
+		t.Fatalf("Join: id=%d size=%d", id, net.Size())
+	}
+	net.Send(0, id, "hello", nil)
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatal("joined node missed message")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	s, net := newTestNet(t, 5, Config{})
+	counts := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		_ = net.SetHandler(NodeID(i), func(m Message) { counts[i]++ })
+	}
+	net.Kill(3)
+	net.Broadcast(0, "b", nil)
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 0 {
+		t.Fatal("sender received its own broadcast")
+	}
+	if counts[1] != 1 || counts[2] != 1 || counts[4] != 1 {
+		t.Fatalf("broadcast counts = %v", counts)
+	}
+	if counts[3] != 0 {
+		t.Fatal("dead node got broadcast")
+	}
+}
+
+func TestAliveIDsSorted(t *testing.T) {
+	_, net := newTestNet(t, 4, Config{})
+	net.Kill(2)
+	ids := net.AliveIDs()
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 3 {
+		t.Fatalf("AliveIDs = %v", ids)
+	}
+}
+
+func TestSetHandlerInvalid(t *testing.T) {
+	_, net := newTestNet(t, 1, Config{})
+	if err := net.SetHandler(5, nil); err == nil {
+		t.Fatal("out-of-range SetHandler accepted")
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	s := sim.New()
+	net := NewNetwork(s, sim.NewRNG(1), 2, Config{LatencyMin: -5, LatencyMax: -10, LossRate: 2})
+	// LossRate clamped to 1: everything dropped.
+	got := 0
+	_ = net.SetHandler(1, func(m Message) { got++ })
+	net.Send(0, 1, "x", nil)
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("LossRate=1 delivered a message")
+	}
+}

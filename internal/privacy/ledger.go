@@ -1,0 +1,152 @@
+package privacy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/social"
+)
+
+// Disclosure is one accountable information-flow event: owner's item reached
+// a recipient, for a purpose, at a time, with or without the owner's policy
+// consenting. (Non-consented events only arise in attack experiments —
+// e.g. a leaky node forwarding data against a NoForward obligation.)
+type Disclosure struct {
+	Owner       int
+	Item        string
+	Sensitivity social.Sensitivity
+	Recipient   int
+	Purpose     Purpose
+	At          sim.Time
+	Consented   bool
+}
+
+// Ledger is the accountability record (OECD accountability + openness): it
+// stores every disclosure and answers the exposure queries that feed the
+// privacy facet.
+type Ledger struct {
+	events []Disclosure
+	// byOwner[owner][item] -> set of recipients
+	byOwner map[int]map[string]map[int]bool
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{byOwner: make(map[int]map[string]map[int]bool)}
+}
+
+// Record appends a disclosure event.
+func (l *Ledger) Record(d Disclosure) {
+	l.events = append(l.events, d)
+	items := l.byOwner[d.Owner]
+	if items == nil {
+		items = make(map[string]map[int]bool)
+		l.byOwner[d.Owner] = items
+	}
+	recips := items[d.Item]
+	if recips == nil {
+		recips = make(map[int]bool)
+		items[d.Item] = recips
+	}
+	recips[d.Recipient] = true
+}
+
+// Events returns all recorded events (shared; read-only).
+func (l *Ledger) Events() []Disclosure { return l.events }
+
+// Len returns the number of recorded events.
+func (l *Ledger) Len() int { return len(l.events) }
+
+// EventsFor returns the events about one owner's data, in recording order.
+// This is the OECD "individual participation" query: an individual can see
+// exactly what about them went where.
+func (l *Ledger) EventsFor(owner int) []Disclosure {
+	var out []Disclosure
+	for _, e := range l.events {
+		if e.Owner == owner {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Violations returns the non-consented disclosures (accountability audit
+// trail).
+func (l *Ledger) Violations() []Disclosure {
+	var out []Disclosure
+	for _, e := range l.events {
+		if !e.Consented {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Exposure returns owner's information exposure: for each disclosed item,
+// sensitivity weight × log2(1+distinct recipients), summed. A user whose
+// high-sensitivity data reached many parties has high exposure.
+func (l *Ledger) Exposure(owner int) float64 {
+	items := l.byOwner[owner]
+	if len(items) == 0 {
+		return 0
+	}
+	// Sensitivity per item comes from the recorded events; use the maximum
+	// seen for that item.
+	sens := make(map[string]float64)
+	for _, e := range l.events {
+		if e.Owner != owner {
+			continue
+		}
+		if w := SensitivityWeight(e.Sensitivity); w > sens[e.Item] {
+			sens[e.Item] = w
+		}
+	}
+	keys := make([]string, 0, len(items))
+	for k := range items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, item := range keys {
+		total += sens[item] * math.Log2(1+float64(len(items[item])))
+	}
+	return total
+}
+
+// NormalizedExposure maps exposure into [0,1) via x/(x+scale); scale is the
+// exposure at which a user counts as "half exposed" (clamped to >= 1).
+func (l *Ledger) NormalizedExposure(owner int, scale float64) float64 {
+	if scale < 1 {
+		scale = 1
+	}
+	x := l.Exposure(owner)
+	return x / (x + scale)
+}
+
+// RespectRate returns the fraction of owner's disclosures that were
+// consented (1 when there are none): the "policy respect" half of the
+// privacy facet.
+func (l *Ledger) RespectRate(owner int) float64 {
+	total, ok := 0, 0
+	for _, e := range l.events {
+		if e.Owner != owner {
+			continue
+		}
+		total++
+		if e.Consented {
+			ok++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// PrivacyFacet computes owner's privacy satisfaction P_u as the paper's
+// "satisfaction in terms of privacy guarantees": respect of the user's PPs
+// times how much information did NOT have to be shared.
+func (l *Ledger) PrivacyFacet(owner int, scale float64) float64 {
+	return l.RespectRate(owner) * (1 - l.NormalizedExposure(owner, scale))
+}

@@ -1,0 +1,162 @@
+package privacy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/social"
+)
+
+// randomPolicy derives an arbitrary but well-formed policy from fuzz bytes.
+func randomPolicy(b [8]uint8) Policy {
+	p := Policy{
+		Operations: map[Operation]bool{},
+		Purposes:   map[Purpose]bool{},
+	}
+	for i, op := range []Operation{Read, Write, Share, Aggregate} {
+		if b[0]&(1<<i) != 0 {
+			p.Operations[op] = true
+		}
+	}
+	for i, pu := range []Purpose{SocialUse, ReputationUse, ResearchUse, CommercialUse, MaintenanceUse} {
+		if b[1]&(1<<i) != 0 {
+			p.Purposes[pu] = true
+		}
+	}
+	if b[2]%2 == 0 {
+		p.Conditions.FriendsOnly = true
+	}
+	p.Conditions.MaxAccessesPerRequester = int(b[3] % 5)
+	p.MinTrustLevel = float64(b[4]) / 255
+	p.Retention = sim.Time(b[5]) * 10
+	if b[6]%3 == 0 {
+		p.AuthorizedUsers = map[int]bool{int(b[7]) % 10: true}
+	}
+	return p
+}
+
+func randomRequest(b [8]uint8) Request {
+	return Request{
+		Requester:      int(b[0]) % 10,
+		Owner:          int(b[1]) % 10,
+		Operation:      Operation(int(b[2])%4 + 1),
+		Purpose:        Purpose(int(b[3])%5 + 1),
+		RequesterTrust: float64(b[4]) / 255,
+		IsFriend:       b[5]%2 == 0,
+		PriorAccesses:  int(b[6]) % 6,
+	}
+}
+
+// TestPolicyPropertyOwnerAlwaysAllowed: no policy can lock an owner out of
+// her own data (OECD individual participation).
+func TestPolicyPropertyOwnerAlwaysAllowed(t *testing.T) {
+	f := func(pb, rb [8]uint8) bool {
+		pol := randomPolicy(pb)
+		req := randomRequest(rb)
+		req.Requester = req.Owner
+		return pol.Evaluate(req, sim.Time(rb[7])).Allowed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicyPropertyDenialReasonsConsistent: a denial's reason must point
+// at a clause that actually fails for the request, and allowed decisions
+// must carry no reason.
+func TestPolicyPropertyDenialReasonsConsistent(t *testing.T) {
+	f := func(pb, rb [8]uint8) bool {
+		pol := randomPolicy(pb)
+		req := randomRequest(rb)
+		if req.Requester == req.Owner {
+			req.Requester = (req.Owner + 1) % 10
+		}
+		d := pol.Evaluate(req, sim.Time(rb[7]))
+		if d.Allowed {
+			return d.Reason == DenyNone
+		}
+		switch d.Reason {
+		case DenyUnauthorizedUser:
+			return len(pol.AuthorizedUsers) > 0 && !pol.AuthorizedUsers[req.Requester]
+		case DenyOperation:
+			return !pol.Operations[req.Operation]
+		case DenyPurpose:
+			return !pol.Purposes[req.Purpose]
+		case DenyNotFriend:
+			return pol.Conditions.FriendsOnly && !req.IsFriend
+		case DenyQuotaExceeded:
+			q := pol.Conditions.MaxAccessesPerRequester
+			return q > 0 && req.PriorAccesses >= q
+		case DenyInsufficientTrust:
+			return req.RequesterTrust < pol.MinTrustLevel
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicyPropertyMonotoneInTrust: raising requester trust can only turn
+// denials into grants, never the reverse.
+func TestPolicyPropertyMonotoneInTrust(t *testing.T) {
+	f := func(pb, rb [8]uint8, bump uint8) bool {
+		pol := randomPolicy(pb)
+		req := randomRequest(rb)
+		low := pol.Evaluate(req, 0)
+		req.RequesterTrust += float64(bump) / 255
+		high := pol.Evaluate(req, 0)
+		if low.Allowed && !high.Allowed {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicyPropertyRetentionExpiry: granted decisions under a retention
+// policy always expire in the future, exactly Retention ticks out.
+func TestPolicyPropertyRetentionExpiry(t *testing.T) {
+	f := func(pb, rb [8]uint8, now uint16) bool {
+		pol := randomPolicy(pb)
+		req := randomRequest(rb)
+		d := pol.Evaluate(req, sim.Time(now))
+		if !d.Allowed {
+			return d.ExpiresAt == 0
+		}
+		if pol.Retention == 0 || req.Requester == req.Owner {
+			return d.ExpiresAt == 0 || req.Requester == req.Owner
+		}
+		return d.ExpiresAt == sim.Time(now)+pol.Retention
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefaultPoliciesEvaluateForAllSensitivities is a fuzz across requests
+// against the canonical policies.
+func TestDefaultPoliciesEvaluateForAllSensitivities(t *testing.T) {
+	f := func(rb [8]uint8, sRaw uint8) bool {
+		sens := social.Sensitivity(int(sRaw)%4 + 1)
+		pol := DefaultPolicy(sens)
+		req := randomRequest(rb)
+		d := pol.Evaluate(req, 100)
+		// Public data readable by anyone for any listed purpose.
+		if sens == social.Public && req.Operation == Read && !d.Allowed && req.Requester != req.Owner {
+			return false
+		}
+		// High-sensitivity data never readable by strangers with low trust.
+		if sens == social.High && req.Requester != req.Owner && !req.IsFriend && d.Allowed {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package reputation
+
+import "testing"
+
+func TestNetPositiveFractionEmpty(t *testing.T) {
+	lt := NewLocalTrust(5)
+	if got := lt.NetPositiveFraction(); got != 1 {
+		t.Fatalf("empty matrix fraction = %v, want 1", got)
+	}
+}
+
+func TestNetPositiveFractionCounts(t *testing.T) {
+	lt := NewLocalTrust(4)
+	// Peer 1: two positive ratings -> trustworthy.
+	_ = lt.Add(Report{Rater: 0, Ratee: 1, Value: 0.9})
+	_ = lt.Add(Report{Rater: 2, Ratee: 1, Value: 0.8})
+	// Peer 2: net negative -> untrustworthy.
+	_ = lt.Add(Report{Rater: 0, Ratee: 2, Value: 0.1})
+	_ = lt.Add(Report{Rater: 1, Ratee: 2, Value: 0.9})
+	_ = lt.Add(Report{Rater: 3, Ratee: 2, Value: 0.2})
+	// Peer 3: exactly balanced -> NOT net positive.
+	_ = lt.Add(Report{Rater: 0, Ratee: 3, Value: 0.9})
+	_ = lt.Add(Report{Rater: 1, Ratee: 3, Value: 0.1})
+	// Peer 0: unrated -> excluded.
+	got := lt.NetPositiveFraction()
+	want := 1.0 / 3.0
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("fraction = %v, want %v", got, want)
+	}
+}
+
+func TestResetPeerClearsBothDirections(t *testing.T) {
+	lt := NewLocalTrust(3)
+	_ = lt.Add(Report{Rater: 0, Ratee: 1, Value: 0.9})
+	_ = lt.Add(Report{Rater: 1, Ratee: 2, Value: 0.9})
+	lt.ResetPeer(1)
+	if lt.S(0, 1) != 0 {
+		t.Fatal("incoming trust survived reset")
+	}
+	if lt.S(1, 2) != 0 {
+		t.Fatal("outgoing trust survived reset")
+	}
+	lt.ResetPeer(-1) // must not panic
+	lt.ResetPeer(99)
+}

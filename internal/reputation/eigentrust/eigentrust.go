@@ -1,0 +1,289 @@
+// Package eigentrust implements the EigenTrust algorithm (Kamvar, Schlosser,
+// Garcia-Molina, WWW 2003), the first reputation baseline the paper cites:
+// a PageRank-like global reputation computed as the principal eigenvector of
+// the normalized local-trust matrix, damped toward a pre-trusted peer set.
+package eigentrust
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/overlay"
+	"repro/internal/reputation"
+)
+
+// Config parameterizes the mechanism.
+type Config struct {
+	// N is the number of peers.
+	N int
+	// Alpha is the pre-trust blending weight (the paper's a), default 0.15.
+	Alpha float64
+	// Pretrusted lists the pre-trusted peer ids; empty means uniform
+	// pre-trust.
+	Pretrusted []int
+	// Epsilon is the L1 convergence threshold, default 1e-6.
+	Epsilon float64
+	// MaxIter bounds the power iteration, default 200.
+	MaxIter int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.N <= 0 {
+		return c, fmt.Errorf("eigentrust: N must be positive, got %d", c.N)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.15
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return c, fmt.Errorf("eigentrust: alpha %v out of [0,1]", c.Alpha)
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 1e-6
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 200
+	}
+	for _, p := range c.Pretrusted {
+		if p < 0 || p >= c.N {
+			return c, fmt.Errorf("eigentrust: pre-trusted peer %d out of range", p)
+		}
+	}
+	return c, nil
+}
+
+// Mechanism is the EigenTrust scoring engine.
+type Mechanism struct {
+	cfg      Config
+	lt       *reputation.LocalTrust
+	pretrust []float64
+	scores   []float64 // global trust distribution (sums to 1)
+	dirty    bool
+}
+
+var _ reputation.Mechanism = (*Mechanism)(nil)
+
+// New builds the mechanism.
+func New(cfg Config) (*Mechanism, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m := &Mechanism{
+		cfg:      cfg,
+		lt:       reputation.NewLocalTrust(cfg.N),
+		pretrust: reputation.PretrustOver(cfg.N, cfg.Pretrusted),
+	}
+	m.scores = append([]float64(nil), m.pretrust...)
+	return m, nil
+}
+
+// Name implements reputation.Mechanism.
+func (*Mechanism) Name() string { return "eigentrust" }
+
+// LocalTrust exposes the accumulated matrix (read-only use).
+func (m *Mechanism) LocalTrust() *reputation.LocalTrust { return m.lt }
+
+// TrustworthyFraction implements reputation.CommunityAssessor: the fraction
+// of rated peers with net-positive incoming local trust.
+func (m *Mechanism) TrustworthyFraction() float64 {
+	return m.lt.NetPositiveFraction()
+}
+
+var _ reputation.CommunityAssessor = (*Mechanism)(nil)
+
+// Whitewash models a peer abandoning its identity and rejoining fresh: all
+// local trust involving it is erased. Under EigenTrust a fresh identity has
+// no incoming trust, so its global score collapses to its pre-trust share —
+// whitewashing does not launder a bad EigenTrust reputation upward (the
+// zero-default punishes newcomers).
+func (m *Mechanism) Whitewash(peer int) {
+	m.lt.ResetPeer(peer)
+	m.dirty = true
+}
+
+// Submit implements reputation.Mechanism.
+func (m *Mechanism) Submit(r reputation.Report) error {
+	if err := m.lt.Add(r); err != nil {
+		return fmt.Errorf("eigentrust: %w", err)
+	}
+	m.dirty = true
+	return nil
+}
+
+// Compute runs the power iteration t ← (1−α)·Cᵀt + α·p until the L1 change
+// drops below Epsilon, returning the number of iterations performed.
+func (m *Mechanism) Compute() int {
+	if !m.dirty {
+		return 0
+	}
+	n := m.cfg.N
+	// Materialize C rows once per Compute.
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = m.lt.NormalizedRow(i, m.pretrust)
+	}
+	t := append([]float64(nil), m.pretrust...)
+	next := make([]float64, n)
+	iters := 0
+	for ; iters < m.cfg.MaxIter; iters++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			ti := t[i]
+			if ti == 0 {
+				continue
+			}
+			row := rows[i]
+			for j, c := range row {
+				if c != 0 {
+					next[j] += c * ti
+				}
+			}
+		}
+		diff := 0.0
+		for j := 0; j < n; j++ {
+			next[j] = (1-m.cfg.Alpha)*next[j] + m.cfg.Alpha*m.pretrust[j]
+			diff += math.Abs(next[j] - t[j])
+		}
+		t, next = next, t
+		if diff < m.cfg.Epsilon {
+			iters++
+			break
+		}
+	}
+	m.scores = t
+	m.dirty = false
+	return iters
+}
+
+// Raw returns the global trust distribution (sums to 1).
+func (m *Mechanism) Raw() []float64 {
+	out := make([]float64, len(m.scores))
+	copy(out, m.scores)
+	return out
+}
+
+// Score implements reputation.Mechanism: the peer's global trust normalized
+// by the maximum, so the best peer scores 1.
+func (m *Mechanism) Score(peer int) float64 {
+	if peer < 0 || peer >= len(m.scores) {
+		return 0
+	}
+	maxV := 0.0
+	for _, v := range m.scores {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		return 0
+	}
+	return m.scores[peer] / maxV
+}
+
+// Scores implements reputation.Mechanism.
+func (m *Mechanism) Scores() []float64 {
+	out := make([]float64, len(m.scores))
+	maxV := 0.0
+	for _, v := range m.scores {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		return out
+	}
+	for i, v := range m.scores {
+		out[i] = v / maxV
+	}
+	return out
+}
+
+// DistributedResult reports the cost of a distributed computation.
+type DistributedResult struct {
+	Rounds   int
+	Messages int64
+	// MaxDiff is the final L1 distance to the centralized fixed point.
+	MaxDiff float64
+}
+
+// RunDistributed executes the secure-free distributed EigenTrust iteration
+// over the overlay: in each round every live peer i sends c_ij·t_i to every
+// peer j it has an opinion about, and each receiver folds contributions into
+// its next trust value. It runs until convergence or maxRounds, then leaves
+// the distributed scores installed in the mechanism.
+//
+// This exercises the same message pattern as the published distributed
+// algorithm (without the secure score-manager layer, which TrustMe's DHT
+// variant covers) and lets experiments charge real message costs.
+func (m *Mechanism) RunDistributed(net *overlay.Network, maxRounds int) (DistributedResult, error) {
+	if net.Size() < m.cfg.N {
+		return DistributedResult{}, fmt.Errorf("eigentrust: overlay has %d nodes, need %d", net.Size(), m.cfg.N)
+	}
+	if maxRounds <= 0 {
+		maxRounds = m.cfg.MaxIter
+	}
+	n := m.cfg.N
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = m.lt.NormalizedRow(i, m.pretrust)
+	}
+	t := append([]float64(nil), m.pretrust...)
+	accum := make([]float64, n)
+
+	type contrib struct{ value float64 }
+	var res DistributedResult
+	startMsgs := net.Stats().Sent
+
+	for round := 0; round < maxRounds; round++ {
+		for j := range accum {
+			accum[j] = 0
+		}
+		// Install handlers that accumulate contributions this round.
+		for j := 0; j < n; j++ {
+			j := j
+			if err := net.SetHandler(overlay.NodeID(j), func(msg overlay.Message) {
+				if c, ok := msg.Payload.(contrib); ok {
+					accum[j] += c.value
+				}
+			}); err != nil {
+				return res, err
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !net.Alive(overlay.NodeID(i)) {
+				continue
+			}
+			for j, c := range rows[i] {
+				if c > 0 && t[i] > 0 {
+					net.Send(overlay.NodeID(i), overlay.NodeID(j), "et-contrib", contrib{value: c * t[i]})
+				}
+			}
+		}
+		// Deliver this round's messages.
+		if err := net.Sim().Run(0); err != nil {
+			return res, err
+		}
+		diff := 0.0
+		for j := 0; j < n; j++ {
+			nv := (1-m.cfg.Alpha)*accum[j] + m.cfg.Alpha*m.pretrust[j]
+			diff += math.Abs(nv - t[j])
+			t[j] = nv
+		}
+		res.Rounds++
+		if diff < m.cfg.Epsilon {
+			break
+		}
+	}
+	res.Messages = net.Stats().Sent - startMsgs
+
+	// Compare against the centralized fixed point.
+	m.dirty = true
+	m.Compute()
+	for j := 0; j < n; j++ {
+		res.MaxDiff += math.Abs(t[j] - m.scores[j])
+	}
+	m.scores = t
+	return res, nil
+}

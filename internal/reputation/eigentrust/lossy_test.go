@@ -1,0 +1,83 @@
+package eigentrust
+
+import (
+	"testing"
+
+	"repro/internal/overlay"
+	"repro/internal/reputation"
+	"repro/internal/sim"
+)
+
+// TestDistributedUnderMessageLoss: with a lossy overlay the distributed
+// iteration still terminates and lands near the centralized fixed point —
+// lost contributions behave like damping, not divergence.
+func TestDistributedUnderMessageLoss(t *testing.T) {
+	const n = 20
+	m, err := New(Config{N: n, Pretrusted: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(77)
+	for k := 0; k < 400; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		v := 0.9
+		if j%3 == 0 {
+			v = 0.1
+		}
+		_ = m.Submit(reputation.Report{Rater: i, Ratee: j, Value: v})
+	}
+	s := sim.New()
+	net := overlay.NewNetwork(s, sim.NewRNG(78), n, overlay.Config{LossRate: 0.1})
+	res, err := m.RunDistributed(net, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 {
+		t.Fatal("no rounds ran")
+	}
+	// 10% loss: the fixed point is biased but must stay in the ballpark.
+	if res.MaxDiff > 0.5 {
+		t.Fatalf("lossy distributed run diverged: L1 diff %v", res.MaxDiff)
+	}
+	// Scores remain a valid ranking: the known-good pretrusted peer must
+	// outrank a known-bad peer.
+	if m.Score(0) <= m.Score(3) {
+		t.Fatalf("ranking destroyed by loss: %v vs %v", m.Score(0), m.Score(3))
+	}
+}
+
+// TestDistributedWithDeadNodes: peers that died mid-computation simply stop
+// contributing; the rest converge.
+func TestDistributedWithDeadNodes(t *testing.T) {
+	const n = 15
+	m, err := New(Config{N: n, Pretrusted: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(79)
+	for k := 0; k < 300; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			_ = m.Submit(reputation.Report{Rater: i, Ratee: j, Value: rng.Float64()})
+		}
+	}
+	s := sim.New()
+	net := overlay.NewNetwork(s, sim.NewRNG(80), n, overlay.Config{})
+	net.Kill(7)
+	net.Kill(8)
+	res, err := m.RunDistributed(net, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 || res.Messages == 0 {
+		t.Fatalf("run did nothing: %+v", res)
+	}
+	for p := 0; p < n; p++ {
+		if v := m.Score(p); v < 0 || v > 1 {
+			t.Fatalf("score[%d] = %v out of range", p, v)
+		}
+	}
+}

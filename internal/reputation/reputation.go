@@ -1,0 +1,346 @@
+// Package reputation defines the common framework the paper adopts from
+// Marti & Garcia-Molina (§2.2): a reputation system decomposes into
+// information gathering, scoring & ranking, and response. This package holds
+// the shared pieces — feedback reports, the local-trust matrix, the
+// disclosure-limited gatherer that ties reputation to the privacy facet, and
+// response policies — while the eigentrust, powertrust and trustme
+// subpackages implement the cited scoring mechanisms.
+package reputation
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Report is one feedback report: rater's rating of ratee for transaction
+// TxID, in [0,1].
+type Report struct {
+	TxID  uint64
+	Rater int
+	Ratee int
+	Value float64
+}
+
+// Mechanism is a pluggable scoring engine ("scoring and ranking" block).
+type Mechanism interface {
+	// Name identifies the mechanism in experiment output.
+	Name() string
+	// Submit feeds one gathered report into the mechanism.
+	Submit(r Report) error
+	// Compute recomputes global scores, returning the number of iterations
+	// (rounds) the computation needed.
+	Compute() int
+	// Score returns the current global score of a peer in [0,1].
+	Score(peer int) float64
+	// Scores returns all peers' scores indexed by peer id.
+	Scores() []float64
+}
+
+// SatThreshold is the rating at or above which a transaction counts as
+// satisfactory for mechanisms with binary local trust (EigenTrust's
+// sat/unsat bookkeeping).
+const SatThreshold = 0.5
+
+// CommunityAssessor is implemented by mechanisms that can report their
+// conclusion about the population: the fraction of rated peers the
+// mechanism considers trustworthy. Section 3 of the paper makes this a
+// first-class signal — "the set of those levels may indicate the
+// trustworthy of the global system": an efficient mechanism concluding that
+// the majority is untrustworthy must LOWER trust towards the system, not
+// raise it.
+type CommunityAssessor interface {
+	// TrustworthyFraction returns, over peers with any feedback, the
+	// fraction the mechanism concludes are trustworthy (1 when no peer has
+	// feedback yet).
+	TrustworthyFraction() float64
+}
+
+// LocalTrust accumulates reports into EigenTrust-style local trust values:
+// s_ij = sat(i,j) − unsat(i,j), and normalized rows
+// c_ij = max(s_ij,0) / Σ_j max(s_ij,0).
+type LocalTrust struct {
+	n     int
+	sat   [][]int32
+	unsat [][]int32
+}
+
+// NewLocalTrust returns an empty matrix for n peers.
+func NewLocalTrust(n int) *LocalTrust {
+	if n < 0 {
+		n = 0
+	}
+	lt := &LocalTrust{n: n}
+	lt.sat = make([][]int32, n)
+	lt.unsat = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		lt.sat[i] = make([]int32, n)
+		lt.unsat[i] = make([]int32, n)
+	}
+	return lt
+}
+
+// N returns the matrix dimension.
+func (l *LocalTrust) N() int { return l.n }
+
+// Add folds a report into the matrix. Ratings >= SatThreshold count as
+// satisfactory. Out-of-range peers or self-ratings are rejected.
+func (l *LocalTrust) Add(r Report) error {
+	if r.Rater < 0 || r.Rater >= l.n || r.Ratee < 0 || r.Ratee >= l.n {
+		return fmt.Errorf("reputation: report %d->%d out of range [0,%d)", r.Rater, r.Ratee, l.n)
+	}
+	if r.Rater == r.Ratee {
+		return fmt.Errorf("reputation: self-rating by %d rejected", r.Rater)
+	}
+	if r.Value >= SatThreshold {
+		l.sat[r.Rater][r.Ratee]++
+	} else {
+		l.unsat[r.Rater][r.Ratee]++
+	}
+	return nil
+}
+
+// S returns max(sat−unsat, 0) for the pair (i, j).
+func (l *LocalTrust) S(i, j int) float64 {
+	if i < 0 || i >= l.n || j < 0 || j >= l.n {
+		return 0
+	}
+	v := l.sat[i][j] - l.unsat[i][j]
+	if v < 0 {
+		return 0
+	}
+	return float64(v)
+}
+
+// NormalizedRow returns row i of the normalized matrix C. If the row is
+// empty (peer i has no positive local trust), the pretrust distribution is
+// returned instead, per the EigenTrust paper.
+func (l *LocalTrust) NormalizedRow(i int, pretrust []float64) []float64 {
+	row := make([]float64, l.n)
+	sum := 0.0
+	for j := 0; j < l.n; j++ {
+		row[j] = l.S(i, j)
+		sum += row[j]
+	}
+	if sum == 0 {
+		copy(row, pretrust)
+		return row
+	}
+	for j := range row {
+		row[j] /= sum
+	}
+	return row
+}
+
+// NetPositiveFraction returns, over peers that received at least one
+// rating, the fraction whose incoming net trust Σ_i (sat_i − unsat_i) is
+// positive — the matrix's conclusion about community trustworthiness.
+// It returns 1 when no peer has incoming ratings.
+func (l *LocalTrust) NetPositiveFraction() float64 {
+	rated, positive := 0, 0
+	for p := 0; p < l.n; p++ {
+		var net, seen int32
+		for i := 0; i < l.n; i++ {
+			net += l.sat[i][p] - l.unsat[i][p]
+			seen += l.sat[i][p] + l.unsat[i][p]
+		}
+		if seen == 0 {
+			continue
+		}
+		rated++
+		if net > 0 {
+			positive++
+		}
+	}
+	if rated == 0 {
+		return 1
+	}
+	return float64(positive) / float64(rated)
+}
+
+// ResetPeer erases all local trust involving a peer — the matrix state a
+// whitewasher's fresh identity would present (no one has rated it, it has
+// rated no one).
+func (l *LocalTrust) ResetPeer(i int) {
+	if i < 0 || i >= l.n {
+		return
+	}
+	for j := 0; j < l.n; j++ {
+		l.sat[i][j], l.unsat[i][j] = 0, 0
+		l.sat[j][i], l.unsat[j][i] = 0, 0
+	}
+}
+
+// HasOutgoing reports whether peer i has any positive local trust.
+func (l *LocalTrust) HasOutgoing(i int) bool {
+	for j := 0; j < l.n; j++ {
+		if l.S(i, j) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// UniformPretrust returns the uniform distribution over n peers.
+func UniformPretrust(n int) []float64 {
+	p := make([]float64, n)
+	if n == 0 {
+		return p
+	}
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	return p
+}
+
+// PretrustOver returns the distribution concentrated uniformly on the given
+// pre-trusted peers (uniform over all peers when the set is empty).
+func PretrustOver(n int, trusted []int) []float64 {
+	if len(trusted) == 0 {
+		return UniformPretrust(n)
+	}
+	p := make([]float64, n)
+	share := 1 / float64(len(trusted))
+	for _, i := range trusted {
+		if i >= 0 && i < n {
+			p[i] += share
+		}
+	}
+	return p
+}
+
+// Gatherer implements the "information gathering" block under privacy
+// constraints: each rater's reports reach the mechanism only with the
+// rater's disclosure probability. This is the operational link between the
+// paper's privacy axis ("quantity of shared information") and reputation
+// power.
+type Gatherer struct {
+	rng        *sim.RNG
+	disclosure []float64
+	sharedBy   map[int]int64
+	// Gathered and Withheld count reports passed vs suppressed.
+	Gathered, Withheld int64
+}
+
+// NewGatherer builds a gatherer. disclosure[i] is peer i's probability of
+// sharing any given report, clamped to [0,1].
+func NewGatherer(rng *sim.RNG, disclosure []float64) *Gatherer {
+	d := make([]float64, len(disclosure))
+	for i, v := range disclosure {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		d[i] = v
+	}
+	return &Gatherer{rng: rng, disclosure: d, sharedBy: make(map[int]int64)}
+}
+
+// SharedBy returns how many reports the given rater has disclosed.
+func (g *Gatherer) SharedBy(rater int) int64 { return g.sharedBy[rater] }
+
+// Offer submits the report to the mechanism iff the rater's disclosure
+// admits it. It reports whether the report was shared.
+func (g *Gatherer) Offer(m Mechanism, r Report) (bool, error) {
+	p := 1.0
+	if r.Rater >= 0 && r.Rater < len(g.disclosure) {
+		p = g.disclosure[r.Rater]
+	}
+	if !g.rng.Bool(p) {
+		g.Withheld++
+		return false, nil
+	}
+	if err := m.Submit(r); err != nil {
+		return false, err
+	}
+	g.Gathered++
+	g.sharedBy[r.Rater]++
+	return true, nil
+}
+
+// SelectBest is the "response" block used by the experiments: choose the
+// candidate with the highest score, breaking ties uniformly. It returns -1
+// for an empty candidate list.
+func SelectBest(rng *sim.RNG, scores []float64, candidates []int) int {
+	best := -1
+	bestScore := -1.0
+	ties := 0
+	for _, c := range candidates {
+		if c < 0 || c >= len(scores) {
+			continue
+		}
+		s := scores[c]
+		switch {
+		case s > bestScore:
+			best, bestScore, ties = c, s, 1
+		case s == bestScore:
+			// Reservoir-sample among ties for uniformity.
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// SelectProportional chooses a candidate with probability proportional to
+// its score (uniform when all scores are zero). It returns -1 for an empty
+// list. EigenTrust's paper recommends this to avoid overloading the
+// highest-reputation peers.
+func SelectProportional(rng *sim.RNG, scores []float64, candidates []int) int {
+	total := 0.0
+	valid := make([]int, 0, len(candidates))
+	for _, c := range candidates {
+		if c >= 0 && c < len(scores) && scores[c] >= 0 {
+			valid = append(valid, c)
+			total += scores[c]
+		}
+	}
+	if len(valid) == 0 {
+		return -1
+	}
+	if total == 0 {
+		return valid[rng.Intn(len(valid))]
+	}
+	x := rng.Float64() * total
+	for _, c := range valid {
+		x -= scores[c]
+		if x <= 0 {
+			return c
+		}
+	}
+	return valid[len(valid)-1]
+}
+
+// None is the no-reputation baseline: every peer scores the same neutral
+// value, so response policies degrade to uniform choice.
+type None struct{ n int }
+
+// NewNone returns the baseline for n peers.
+func NewNone(n int) *None { return &None{n: n} }
+
+// Name implements Mechanism.
+func (*None) Name() string { return "none" }
+
+// Submit implements Mechanism (reports are discarded).
+func (*None) Submit(Report) error { return nil }
+
+// Compute implements Mechanism.
+func (*None) Compute() int { return 0 }
+
+// Score implements Mechanism.
+func (*None) Score(int) float64 { return 0.5 }
+
+// Scores implements Mechanism.
+func (m *None) Scores() []float64 {
+	s := make([]float64, m.n)
+	for i := range s {
+		s[i] = 0.5
+	}
+	return s
+}
+
+var _ Mechanism = (*None)(nil)

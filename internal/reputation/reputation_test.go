@@ -1,0 +1,254 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestLocalTrustAdd(t *testing.T) {
+	lt := NewLocalTrust(3)
+	if err := lt.Add(Report{Rater: 0, Ratee: 1, Value: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Add(Report{Rater: 0, Ratee: 1, Value: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Add(Report{Rater: 0, Ratee: 2, Value: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := lt.S(0, 1); got != 2 {
+		t.Fatalf("S(0,1) = %v, want 2", got)
+	}
+	if got := lt.S(0, 2); got != 0 {
+		t.Fatalf("S(0,2) = %v, want 0 (clamped)", got)
+	}
+}
+
+func TestLocalTrustRejects(t *testing.T) {
+	lt := NewLocalTrust(2)
+	if err := lt.Add(Report{Rater: 0, Ratee: 0, Value: 1}); err == nil {
+		t.Fatal("self-rating accepted")
+	}
+	if err := lt.Add(Report{Rater: 0, Ratee: 5, Value: 1}); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if err := lt.Add(Report{Rater: -1, Ratee: 1, Value: 1}); err == nil {
+		t.Fatal("negative rater accepted")
+	}
+}
+
+func TestNormalizedRowSumsToOne(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := sim.NewRNG(uint64(seed))
+		n := 5 + rng.Intn(10)
+		lt := NewLocalTrust(n)
+		for k := 0; k < 50; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			_ = lt.Add(Report{Rater: i, Ratee: j, Value: rng.Float64()})
+		}
+		pre := UniformPretrust(n)
+		for i := 0; i < n; i++ {
+			row := lt.NormalizedRow(i, pre)
+			sum := 0.0
+			for _, v := range row {
+				if v < 0 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizedRowEmptyFallsBackToPretrust(t *testing.T) {
+	lt := NewLocalTrust(3)
+	pre := PretrustOver(3, []int{2})
+	row := lt.NormalizedRow(0, pre)
+	if row[2] != 1 || row[0] != 0 {
+		t.Fatalf("empty row = %v, want pretrust", row)
+	}
+	if lt.HasOutgoing(0) {
+		t.Fatal("HasOutgoing on empty row")
+	}
+}
+
+func TestPretrustOver(t *testing.T) {
+	p := PretrustOver(4, []int{1, 3})
+	if p[1] != 0.5 || p[3] != 0.5 || p[0] != 0 {
+		t.Fatalf("pretrust = %v", p)
+	}
+	u := PretrustOver(4, nil)
+	for _, v := range u {
+		if v != 0.25 {
+			t.Fatalf("uniform fallback = %v", u)
+		}
+	}
+	// Out-of-range trusted ids are skipped but weight distribution stays
+	// over the valid ones only.
+	p2 := PretrustOver(2, []int{0, 5})
+	if p2[0] != 0.5 {
+		t.Fatalf("pretrust with invalid id = %v", p2)
+	}
+}
+
+func TestGathererDisclosureZeroAndOne(t *testing.T) {
+	rng := sim.NewRNG(3)
+	m := NewNone(4)
+	g := NewGatherer(rng, []float64{0, 1})
+	shared0 := 0
+	for i := 0; i < 200; i++ {
+		ok, err := g.Offer(m, Report{Rater: 0, Ratee: 1, Value: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			shared0++
+		}
+	}
+	if shared0 != 0 {
+		t.Fatalf("disclosure 0 shared %d reports", shared0)
+	}
+	shared1 := 0
+	for i := 0; i < 200; i++ {
+		ok, _ := g.Offer(m, Report{Rater: 1, Ratee: 0, Value: 1})
+		if ok {
+			shared1++
+		}
+	}
+	if shared1 != 200 {
+		t.Fatalf("disclosure 1 shared %d/200", shared1)
+	}
+	if g.Gathered != 200 || g.Withheld != 200 {
+		t.Fatalf("counters: gathered=%d withheld=%d", g.Gathered, g.Withheld)
+	}
+}
+
+func TestGathererFraction(t *testing.T) {
+	rng := sim.NewRNG(4)
+	m := NewNone(2)
+	g := NewGatherer(rng, []float64{0.3})
+	shared := 0
+	for i := 0; i < 5000; i++ {
+		ok, _ := g.Offer(m, Report{Rater: 0, Ratee: 1, Value: 1})
+		if ok {
+			shared++
+		}
+	}
+	frac := float64(shared) / 5000
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Fatalf("shared fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestGathererClampsAndDefaults(t *testing.T) {
+	rng := sim.NewRNG(5)
+	g := NewGatherer(rng, []float64{-1, 2})
+	m := NewNone(3)
+	if ok, _ := g.Offer(m, Report{Rater: 0, Ratee: 1}); ok {
+		t.Fatal("clamped-to-0 rater shared")
+	}
+	if ok, _ := g.Offer(m, Report{Rater: 1, Ratee: 0}); !ok {
+		t.Fatal("clamped-to-1 rater withheld")
+	}
+	// Rater beyond the disclosure vector defaults to full disclosure.
+	if ok, _ := g.Offer(m, Report{Rater: 2, Ratee: 0}); !ok {
+		t.Fatal("unknown rater withheld")
+	}
+}
+
+func TestSelectBest(t *testing.T) {
+	rng := sim.NewRNG(6)
+	scores := []float64{0.1, 0.9, 0.5}
+	if got := SelectBest(rng, scores, []int{0, 1, 2}); got != 1 {
+		t.Fatalf("SelectBest = %d", got)
+	}
+	if got := SelectBest(rng, scores, nil); got != -1 {
+		t.Fatal("empty candidates should return -1")
+	}
+	if got := SelectBest(rng, scores, []int{7, -1}); got != -1 {
+		t.Fatal("invalid candidates should return -1")
+	}
+}
+
+func TestSelectBestTieBreaksUniformly(t *testing.T) {
+	rng := sim.NewRNG(7)
+	scores := []float64{0.5, 0.5, 0.1}
+	counts := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		counts[SelectBest(rng, scores, []int{0, 1, 2})]++
+	}
+	if counts[2] != 0 {
+		t.Fatal("lower-scored candidate selected")
+	}
+	if counts[0] < 800 || counts[1] < 800 {
+		t.Fatalf("tie not uniform: %v", counts)
+	}
+}
+
+func TestSelectProportional(t *testing.T) {
+	rng := sim.NewRNG(8)
+	scores := []float64{0.75, 0.25}
+	counts := map[int]int{}
+	for i := 0; i < 8000; i++ {
+		counts[SelectProportional(rng, scores, []int{0, 1})]++
+	}
+	frac := float64(counts[0]) / 8000
+	if math.Abs(frac-0.75) > 0.03 {
+		t.Fatalf("proportional selection fraction = %v", frac)
+	}
+}
+
+func TestSelectProportionalZeroScores(t *testing.T) {
+	rng := sim.NewRNG(9)
+	scores := []float64{0, 0, 0}
+	counts := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		c := SelectProportional(rng, scores, []int{0, 1, 2})
+		if c == -1 {
+			t.Fatal("zero scores returned -1")
+		}
+		counts[c]++
+	}
+	for i := 0; i < 3; i++ {
+		if counts[i] < 800 {
+			t.Fatalf("zero-score selection not uniform: %v", counts)
+		}
+	}
+	if got := SelectProportional(rng, scores, nil); got != -1 {
+		t.Fatal("empty candidates != -1")
+	}
+}
+
+func TestNoneBaseline(t *testing.T) {
+	m := NewNone(3)
+	if m.Name() != "none" {
+		t.Fatal("name")
+	}
+	if err := m.Submit(Report{Rater: 0, Ratee: 1, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Compute() != 0 {
+		t.Fatal("Compute should be 0 rounds")
+	}
+	for i, s := range m.Scores() {
+		if s != 0.5 {
+			t.Fatalf("score[%d] = %v", i, s)
+		}
+	}
+	if m.Score(0) != 0.5 {
+		t.Fatal("Score != 0.5")
+	}
+}

@@ -1,0 +1,307 @@
+// Package trustme implements TrustMe (Singh & Liu, P2P 2003), the second
+// reputation baseline the paper cites: anonymous management of trust
+// relationships. Each peer's reputation reports are held by trust-holding
+// agents (THAs) located through the DHT rather than by the peer itself, and
+// every transaction requires a pairwise certificate established before it
+// takes place, so reports can neither be forged nor bound to the wrong
+// transaction. Raters are recorded under rotating pseudonyms, decoupling
+// feedback from identity (the paper's reputation/privacy trade-off made
+// concrete).
+package trustme
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/crypto"
+	"repro/internal/dht"
+	"repro/internal/reputation"
+)
+
+// Config parameterizes the mechanism.
+type Config struct {
+	// N is the number of peers.
+	N int
+	// Replicas is the THA replication factor (default 3).
+	Replicas int
+	// THAKey is the secret shared by trust-holding agents for sealing
+	// transaction certificates (default derived constant).
+	THAKey []byte
+	// Window bounds how many most-recent ratings count per peer
+	// (default 64).
+	Window int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.N <= 0 {
+		return c, fmt.Errorf("trustme: N must be positive, got %d", c.N)
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if len(c.THAKey) == 0 {
+		c.THAKey = []byte("trustme-tha-shared-key")
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	return c, nil
+}
+
+// ErrNoCertificate is returned when a report arrives for a transaction with
+// no established certificate.
+var ErrNoCertificate = errors.New("trustme: no transaction certificate")
+
+// ErrCertMismatch is returned when a report's parties do not match its
+// certificate (a forged or replayed report).
+var ErrCertMismatch = errors.New("trustme: report does not match certificate")
+
+// Mechanism is the TrustMe scoring engine.
+type Mechanism struct {
+	cfg   Config
+	ring  *dht.Ring
+	certs map[uint64]crypto.TransactionCert
+	nyms  []*crypto.PseudonymChain
+	// Messages approximates protocol message cost: DHT routing hops plus
+	// the certificate exchange per transaction.
+	Messages int64
+	// Rejected counts reports refused for certificate violations.
+	Rejected int64
+	scores   []float64
+	dirty    bool
+}
+
+var _ reputation.Mechanism = (*Mechanism)(nil)
+
+// New builds the mechanism and joins all N peers to the score-storage ring.
+func New(cfg Config) (*Mechanism, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ring := dht.NewRing(cfg.Replicas)
+	for i := 0; i < cfg.N; i++ {
+		if err := ring.Join(i); err != nil {
+			return nil, fmt.Errorf("trustme: join %d: %w", i, err)
+		}
+	}
+	ring.Stabilize()
+	m := &Mechanism{
+		cfg:   cfg,
+		ring:  ring,
+		certs: make(map[uint64]crypto.TransactionCert),
+		nyms:  make([]*crypto.PseudonymChain, cfg.N),
+	}
+	for i := range m.nyms {
+		m.nyms[i] = crypto.NewPseudonymChain(crypto.SeedFromUint64(uint64(i) + 1))
+	}
+	m.scores = make([]float64, cfg.N)
+	for i := range m.scores {
+		m.scores[i] = 0.5
+	}
+	return m, nil
+}
+
+// Name implements reputation.Mechanism.
+func (*Mechanism) Name() string { return "trustme" }
+
+// Ring exposes the underlying DHT (for churn experiments).
+func (m *Mechanism) Ring() *dht.Ring { return m.ring }
+
+// BeginTransaction establishes the pairwise transaction certificate before
+// the transaction takes place, as TrustMe requires. Calling it twice for the
+// same txID returns the existing certificate.
+func (m *Mechanism) BeginTransaction(txID uint64, consumer, provider int) (crypto.TransactionCert, error) {
+	if consumer < 0 || consumer >= m.cfg.N || provider < 0 || provider >= m.cfg.N {
+		return crypto.TransactionCert{}, fmt.Errorf("trustme: parties %d,%d out of range", consumer, provider)
+	}
+	if cert, ok := m.certs[txID]; ok {
+		return cert, nil
+	}
+	// Certificate issuance: locate the provider's THA, then a 2-message
+	// exchange.
+	hops, err := m.ring.LookupHops(scoreKey(provider))
+	if err != nil {
+		return crypto.TransactionCert{}, fmt.Errorf("trustme: locate THA: %w", err)
+	}
+	m.Messages += int64(hops) + 2
+	cert := crypto.SealCert(m.cfg.THAKey, txID, peerName(consumer), peerName(provider))
+	m.certs[txID] = cert
+	return cert, nil
+}
+
+// Submit implements reputation.Mechanism. The report must correspond to an
+// established certificate with matching parties; otherwise it is rejected.
+// For harness convenience a missing certificate is auto-established (the
+// certificate exchange always precedes the transaction in the real
+// protocol), but a mismatched one is a hard error.
+func (m *Mechanism) Submit(r reputation.Report) error {
+	if r.Rater < 0 || r.Rater >= m.cfg.N || r.Ratee < 0 || r.Ratee >= m.cfg.N {
+		return fmt.Errorf("trustme: report %d->%d out of range", r.Rater, r.Ratee)
+	}
+	if r.Rater == r.Ratee {
+		return fmt.Errorf("trustme: self-rating by %d rejected", r.Rater)
+	}
+	cert, ok := m.certs[r.TxID]
+	if !ok {
+		var err error
+		cert, err = m.BeginTransaction(r.TxID, r.Rater, r.Ratee)
+		if err != nil {
+			return err
+		}
+	}
+	if err := crypto.VerifyCert(m.cfg.THAKey, cert); err != nil {
+		m.Rejected++
+		return fmt.Errorf("trustme: %w", err)
+	}
+	if cert.From != peerName(r.Rater) || cert.To != peerName(r.Ratee) {
+		m.Rejected++
+		return fmt.Errorf("%w: tx %d", ErrCertMismatch, r.TxID)
+	}
+	// Append the rating (recorded under the rater's current pseudonym) to
+	// the ratee's THA-stored history.
+	key := scoreKey(r.Ratee)
+	existing, err := m.ring.Get(key)
+	if err != nil && !errors.Is(err, dht.ErrNotFound) {
+		return fmt.Errorf("trustme: fetch history: %w", err)
+	}
+	ratings := decodeRatings(existing)
+	ratings = append(ratings, r.Value)
+	if len(ratings) > m.cfg.Window {
+		ratings = ratings[len(ratings)-m.cfg.Window:]
+	}
+	if err := m.ring.Put(key, encodeRatings(ratings)); err != nil {
+		return fmt.Errorf("trustme: store history: %w", err)
+	}
+	_ = m.nyms[r.Rater].Current() // pseudonym under which the report is filed
+	m.Messages += 2               // store + ack (routing hops counted by ring)
+	m.dirty = true
+	return nil
+}
+
+// Compute refreshes the score cache from THA storage. TrustMe is not
+// iterative, so it always completes in one round.
+func (m *Mechanism) Compute() int {
+	if !m.dirty {
+		return 0
+	}
+	for p := 0; p < m.cfg.N; p++ {
+		m.scores[p] = m.fetchScore(p)
+	}
+	m.dirty = false
+	return 1
+}
+
+func (m *Mechanism) fetchScore(peer int) float64 {
+	v, err := m.ring.Get(scoreKey(peer))
+	if err != nil {
+		return 0.5 // no history: neutral score
+	}
+	ratings := decodeRatings(v)
+	if len(ratings) == 0 {
+		return 0.5
+	}
+	sum := 0.0
+	for _, r := range ratings {
+		sum += r
+	}
+	return sum / float64(len(ratings))
+}
+
+// Score implements reputation.Mechanism.
+func (m *Mechanism) Score(peer int) float64 {
+	if peer < 0 || peer >= len(m.scores) {
+		return 0
+	}
+	return m.scores[peer]
+}
+
+// Scores implements reputation.Mechanism.
+func (m *Mechanism) Scores() []float64 {
+	out := make([]float64, len(m.scores))
+	copy(out, m.scores)
+	return out
+}
+
+// TrustworthyFraction implements reputation.CommunityAssessor: the fraction
+// of peers with THA-stored history whose mean rating is at least 0.5.
+func (m *Mechanism) TrustworthyFraction() float64 {
+	rated, positive := 0, 0
+	for p := 0; p < m.cfg.N; p++ {
+		v, err := m.ring.Get(scoreKey(p))
+		if err != nil {
+			continue
+		}
+		ratings := decodeRatings(v)
+		if len(ratings) == 0 {
+			continue
+		}
+		rated++
+		sum := 0.0
+		for _, r := range ratings {
+			sum += r
+		}
+		if sum/float64(len(ratings)) >= 0.5 {
+			positive++
+		}
+	}
+	if rated == 0 {
+		return 1
+	}
+	return float64(positive) / float64(rated)
+}
+
+var _ reputation.CommunityAssessor = (*Mechanism)(nil)
+
+// Whitewash models a peer abandoning its identity: its THA-stored rating
+// history is deleted and its pseudonym rotated. Because TrustMe defaults
+// unknown peers to the neutral score 0.5, whitewashing launders a bad
+// reputation back to neutral — the vulnerability the adversary taxonomy
+// predicts for neutral-default, identity-bound scores.
+func (m *Mechanism) Whitewash(peer int) {
+	if peer < 0 || peer >= m.cfg.N {
+		return
+	}
+	m.ring.Delete(scoreKey(peer))
+	m.nyms[peer].Advance()
+	m.dirty = true
+}
+
+// RotatePseudonyms advances every peer's pseudonym chain (an anonymity
+// epoch change).
+func (m *Mechanism) RotatePseudonyms() {
+	for _, n := range m.nyms {
+		n.Advance()
+	}
+}
+
+// Pseudonym returns the peer's current pseudonym.
+func (m *Mechanism) Pseudonym(peer int) string {
+	if peer < 0 || peer >= len(m.nyms) {
+		return ""
+	}
+	return m.nyms[peer].Current()
+}
+
+func peerName(p int) string { return "peer-" + strconv.Itoa(p) }
+
+func scoreKey(p int) string { return "trustme/score/" + strconv.Itoa(p) }
+
+func encodeRatings(rs []float64) []byte {
+	buf := make([]byte, 8*len(rs))
+	for i, r := range rs {
+		binary.BigEndian.PutUint64(buf[i*8:], math.Float64bits(r))
+	}
+	return buf
+}
+
+func decodeRatings(b []byte) []float64 {
+	out := make([]float64, 0, len(b)/8)
+	for i := 0; i+8 <= len(b); i += 8 {
+		out = append(out, math.Float64frombits(binary.BigEndian.Uint64(b[i:])))
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// used by every experiment in this repository: a virtual clock, a binary-heap
+// event queue, and reproducible pseudo-random number streams.
+//
+// All randomness in the reproduction flows through RNG so that every
+// experiment is exactly reproducible from a single seed.
+package sim
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on SplitMix64.
+// It is small, fast, splittable and good enough for simulation workloads.
+//
+// The zero value is a valid generator seeded with 0; prefer NewRNG to make
+// the seed explicit.
+//
+// RNG is not safe for concurrent use; give each goroutine its own stream
+// via Split.
+type RNG struct {
+	state uint64
+	// spare Gaussian value from the Box-Muller transform, if any.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split returns a new independent stream derived from the current state.
+// The parent stream advances, so successive Split calls yield distinct
+// children.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniform integer in [0, n). It returns 0 when n <= 0 so that
+// callers never panic on degenerate workload parameters.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	// Lemire's nearly-divisionless bounded generation would be overkill;
+	// modulo bias is negligible for simulation n << 2^64.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return u * f
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap (Fisher-Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct integers drawn uniformly from [0, n) in
+// selection order. If k >= n it returns a permutation of [0, n).
+func (r *RNG) Sample(n, k int) []int {
+	if k >= n {
+		return r.Perm(n)
+	}
+	// Partial Fisher-Yates over a lazily materialized array.
+	chosen := make(map[int]int, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		vj, ok := chosen[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := chosen[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		chosen[j] = vi
+	}
+	return out
+}
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(i+1)^s. It precomputes the CDF once so sampling is O(log n).
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s >= 0.
+// s = 0 degenerates to the uniform distribution.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the size of the sampler's support.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next returns the next Zipf-distributed value in [0, N()).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

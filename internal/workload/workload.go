@@ -1,0 +1,606 @@
+// Package workload drives end-to-end scenarios: it assembles a social
+// network over a generated graph, assigns behaviour classes, and runs
+// rounds of consumer/provider interactions in which the reputation
+// mechanism's response policy picks providers, feedback flows through the
+// disclosure-limited gatherer, and the satisfaction model tracks every
+// participant. It is the engine behind experiments E1, E5, E7 and E8 and
+// the example applications.
+package workload
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/adversary"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/privacy"
+	"repro/internal/reputation"
+	"repro/internal/satisfaction"
+	"repro/internal/sim"
+	"repro/internal/social"
+)
+
+// GraphKind selects the friendship-graph generator.
+type GraphKind int
+
+// Graph kinds.
+const (
+	BarabasiAlbert GraphKind = iota + 1
+	WattsStrogatz
+	ErdosRenyi
+)
+
+// Selection selects the response policy.
+type Selection int
+
+// Response policies.
+const (
+	SelectBest Selection = iota + 1
+	SelectProportional
+)
+
+// Config describes a scenario.
+type Config struct {
+	Seed     uint64
+	NumPeers int
+	// Mix is the behaviour-class composition (defaults to all honest).
+	Mix adversary.Mix
+	// AdvCfg tunes the behaviour models.
+	AdvCfg adversary.Config
+	// Graph selects the friendship topology (default BarabasiAlbert).
+	Graph GraphKind
+	// GraphParam is m for BA, k for WS, and expected degree for ER
+	// (default 4).
+	GraphParam int
+	// InteractionsPerRound is the number of requests per round
+	// (default NumPeers).
+	InteractionsPerRound int
+	// CandidateSize is how many candidate providers each request considers
+	// (default 5).
+	CandidateSize int
+	// Disclosure is the uniform initial disclosure level in [0,1]
+	// (default 1): the probability a peer shares each feedback report.
+	Disclosure float64
+	// Selection is the response policy (default SelectBest).
+	Selection Selection
+	// RecomputeEvery recomputes mechanism scores every k rounds
+	// (default 5).
+	RecomputeEvery int
+	// Memory is the satisfaction EMA weight (default satisfaction.DefaultMemory).
+	Memory float64
+	// TrustGate in [0,1) applies the privacy policies' MinTrustLevel
+	// clause through reputation: only candidates whose score reaches the
+	// TrustGate-quantile of all scores may serve. 0 disables gating.
+	// Stricter gates protect data (fewer exchanges) at the cost of failed
+	// allocations.
+	TrustGate float64
+	// ActivitySkew is the Zipf exponent of consumer activity (0 =
+	// uniform): social workloads have a heavy-tailed active minority.
+	// Which peers are the active ones is decorrelated from peer ids by a
+	// seeded permutation.
+	ActivitySkew float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.NumPeers <= 1 {
+		return c, fmt.Errorf("workload: NumPeers must be > 1, got %d", c.NumPeers)
+	}
+	if len(c.Mix.Fractions) == 0 {
+		c.Mix = adversary.Mix{Fractions: map[adversary.Class]float64{adversary.Honest: 1}}
+	}
+	if c.Graph == 0 {
+		c.Graph = BarabasiAlbert
+	}
+	if c.GraphParam <= 0 {
+		c.GraphParam = 4
+	}
+	if c.InteractionsPerRound <= 0 {
+		c.InteractionsPerRound = c.NumPeers
+	}
+	if c.CandidateSize <= 0 {
+		c.CandidateSize = 5
+	}
+	if c.Disclosure == 0 {
+		c.Disclosure = 1
+	}
+	if c.Disclosure < 0 || c.Disclosure > 1 {
+		return c, fmt.Errorf("workload: disclosure %v out of [0,1]", c.Disclosure)
+	}
+	if c.Selection == 0 {
+		c.Selection = SelectBest
+	}
+	if c.RecomputeEvery <= 0 {
+		c.RecomputeEvery = 5
+	}
+	if c.Memory == 0 {
+		c.Memory = satisfaction.DefaultMemory
+	}
+	if c.TrustGate < 0 || c.TrustGate >= 1 {
+		return c, fmt.Errorf("workload: trust gate %v out of [0,1)", c.TrustGate)
+	}
+	if c.ActivitySkew < 0 {
+		return c, fmt.Errorf("workload: negative activity skew %v", c.ActivitySkew)
+	}
+	return c, nil
+}
+
+// RoundStats summarizes one round.
+type RoundStats struct {
+	Round        int
+	Interactions int
+	// BadService counts interactions whose delivered quality < 0.5
+	// (including refusals) — the "inauthentic downloads" measure of the
+	// EigenTrust evaluation.
+	BadService int
+	// Refused counts interactions where the provider declined.
+	Refused int
+}
+
+// BadRate returns BadService/Interactions (0 when idle).
+func (r RoundStats) BadRate() float64 {
+	if r.Interactions == 0 {
+		return 0
+	}
+	return float64(r.BadService) / float64(r.Interactions)
+}
+
+// Engine runs a configured scenario round by round.
+type Engine struct {
+	cfg       Config
+	rng       *sim.RNG
+	snet      *social.Network
+	mech      reputation.Mechanism
+	gatherer  *reputation.Gatherer
+	consumers []*satisfaction.Consumer
+	providers []*satisfaction.Provider
+	classes   []adversary.Class
+	// honestOverride, when non-nil, replaces each peer's honesty: the
+	// probability it reports truthfully (the §3 coupling between system
+	// trust and honest contribution).
+	honestOverride []float64
+	round          int
+	rounds         []RoundStats
+	cumulative     RoundStats
+	// ledger, when attached, accounts every information flow: the
+	// consumer's profile attribute disclosed to the provider on each
+	// interaction, and each feedback report disclosed to the mechanism.
+	ledger      *privacy.Ledger
+	ledgerScale float64
+	// GateFailures counts allocation rounds where the trust gate left no
+	// eligible candidate.
+	GateFailures int64
+	// colluders lists the peers forming the malicious collective; every
+	// round they ballot-stuff: fabricate one satisfied transaction each
+	// about a clique member (the EigenTrust threat model's collective).
+	colluders []int
+	// FakeReports counts ballot-stuffed reports offered.
+	FakeReports int64
+	// activity, when set, draws consumers from a Zipf distribution mapped
+	// through activityOrder.
+	activity      *sim.Zipf
+	activityOrder []int
+}
+
+// NewEngine assembles a scenario around the provided mechanism (which must
+// be sized for cfg.NumPeers).
+func NewEngine(cfg Config, mech reputation.Mechanism) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if mech == nil {
+		return nil, fmt.Errorf("workload: nil mechanism")
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	behaviors, classes, err := cfg.Mix.Assign(rng.Split(), cfg.NumPeers, cfg.AdvCfg)
+	if err != nil {
+		return nil, fmt.Errorf("workload: assign behaviours: %w", err)
+	}
+	var friends *graph.Graph
+	grng := rng.Split()
+	switch cfg.Graph {
+	case BarabasiAlbert:
+		friends = graph.BarabasiAlbert(grng, cfg.NumPeers, cfg.GraphParam)
+	case WattsStrogatz:
+		friends = graph.WattsStrogatz(grng, cfg.NumPeers, cfg.GraphParam, 0.1)
+	case ErdosRenyi:
+		p := float64(cfg.GraphParam) / float64(cfg.NumPeers-1)
+		friends = graph.ErdosRenyi(grng, cfg.NumPeers, p)
+	default:
+		return nil, fmt.Errorf("workload: unknown graph kind %d", cfg.Graph)
+	}
+	users := make([]*social.User, cfg.NumPeers)
+	for i := range users {
+		users[i] = &social.User{
+			ID:             i,
+			Profile:        social.StandardProfile(i),
+			Behavior:       behaviors[i],
+			BaseDisclosure: cfg.Disclosure,
+		}
+	}
+	snet, err := social.NewNetwork(users, friends)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		rng:     rng,
+		snet:    snet,
+		mech:    mech,
+		classes: classes,
+	}
+	for id, c := range classes {
+		if c == adversary.Colluder {
+			e.colluders = append(e.colluders, id)
+		}
+	}
+	if cfg.ActivitySkew > 0 {
+		e.activity = sim.NewZipf(rng.Split(), cfg.NumPeers, cfg.ActivitySkew)
+		e.activityOrder = rng.Perm(cfg.NumPeers)
+	}
+	e.setUniformDisclosure(cfg.Disclosure)
+	e.consumers = make([]*satisfaction.Consumer, cfg.NumPeers)
+	e.providers = make([]*satisfaction.Provider, cfg.NumPeers)
+	for i := 0; i < cfg.NumPeers; i++ {
+		prefs := make([]float64, cfg.NumPeers)
+		will := make([]float64, cfg.NumPeers)
+		for j := range prefs {
+			prefs[j] = 0.5
+			will[j] = 0.8 // providers mostly willing; imposed requests dent
+		}
+		c, err := satisfaction.NewConsumer(prefs, cfg.Memory)
+		if err != nil {
+			return nil, err
+		}
+		p, err := satisfaction.NewProvider(will, cfg.Memory)
+		if err != nil {
+			return nil, err
+		}
+		e.consumers[i] = c
+		e.providers[i] = p
+	}
+	return e, nil
+}
+
+func (e *Engine) setUniformDisclosure(d float64) {
+	vec := make([]float64, e.cfg.NumPeers)
+	for i := range vec {
+		vec[i] = d
+	}
+	e.gatherer = reputation.NewGatherer(e.rng.Split(), vec)
+}
+
+// SetDisclosure installs a per-peer disclosure vector (values clamped by the
+// gatherer).
+func (e *Engine) SetDisclosure(d []float64) {
+	e.gatherer = reputation.NewGatherer(e.rng.Split(), d)
+}
+
+// SetHonestOverride installs per-peer truthful-report probabilities,
+// overriding behaviour-class honesty (nil restores class behaviour).
+func (e *Engine) SetHonestOverride(h []float64) {
+	if h == nil {
+		e.honestOverride = nil
+		return
+	}
+	cp := make([]float64, len(h))
+	copy(cp, h)
+	e.honestOverride = cp
+}
+
+// Network exposes the social network.
+func (e *Engine) Network() *social.Network { return e.snet }
+
+// Mechanism exposes the reputation mechanism.
+func (e *Engine) Mechanism() reputation.Mechanism { return e.mech }
+
+// Gatherer exposes the current gatherer (for share-rate stats).
+func (e *Engine) Gatherer() *reputation.Gatherer { return e.gatherer }
+
+// Classes returns the ground-truth behaviour class per peer.
+func (e *Engine) Classes() []adversary.Class {
+	out := make([]adversary.Class, len(e.classes))
+	copy(out, e.classes)
+	return out
+}
+
+// AttachLedger wires a privacy ledger into the interaction loop; scale is
+// the exposure normalization scale (see privacy.Ledger.NormalizedExposure).
+func (e *Engine) AttachLedger(l *privacy.Ledger, scale float64) {
+	e.ledger = l
+	e.ledgerScale = scale
+}
+
+// PrivacyFacets returns each user's privacy facet from the attached ledger
+// (all ones when no ledger is attached: nothing was accounted as disclosed).
+func (e *Engine) PrivacyFacets() []float64 {
+	out := make([]float64, e.cfg.NumPeers)
+	for i := range out {
+		if e.ledger == nil {
+			out[i] = 1
+			continue
+		}
+		out[i] = e.ledger.PrivacyFacet(i, e.ledgerScale)
+	}
+	return out
+}
+
+// Round executes one interaction round.
+func (e *Engine) Round() RoundStats {
+	cfg := e.cfg
+	st := RoundStats{Round: e.round}
+	scores := e.mech.Scores()
+	gate := -1.0
+	if cfg.TrustGate > 0 {
+		gate = metrics.Quantile(scores, cfg.TrustGate)
+	}
+	for k := 0; k < cfg.InteractionsPerRound; k++ {
+		var consumer int
+		if e.activity != nil {
+			consumer = e.activityOrder[e.activity.Next()]
+		} else {
+			consumer = e.rng.Intn(cfg.NumPeers)
+		}
+		candidates := e.sampleCandidates(consumer)
+		if gate >= 0 {
+			eligible := candidates[:0]
+			for _, c := range candidates {
+				if scores[c] >= gate {
+					eligible = append(eligible, c)
+				}
+			}
+			if len(eligible) == 0 {
+				e.GateFailures++
+				e.consumers[consumer].ObserveFailure()
+				continue
+			}
+			candidates = eligible
+		}
+		var provider int
+		switch cfg.Selection {
+		case SelectProportional:
+			provider = reputation.SelectProportional(e.rng, scores, candidates)
+		default:
+			provider = reputation.SelectBest(e.rng, scores, candidates)
+		}
+		if provider < 0 {
+			e.consumers[consumer].ObserveFailure()
+			continue
+		}
+		st.Interactions++
+		e.interact(consumer, provider, candidates, &st)
+	}
+	// Malicious collective: each colluder fabricates one satisfied
+	// transaction about another clique member per round.
+	if len(e.colluders) > 1 {
+		for _, c := range e.colluders {
+			m := e.colluders[e.rng.Intn(len(e.colluders))]
+			if m == c {
+				continue
+			}
+			e.FakeReports++
+			e.offerReport(e.snet.NextTxID(), c, m, 1.0)
+		}
+	}
+	e.round++
+	if e.round%cfg.RecomputeEvery == 0 {
+		e.mech.Compute()
+	}
+	e.rounds = append(e.rounds, st)
+	e.cumulative.Interactions += st.Interactions
+	e.cumulative.BadService += st.BadService
+	e.cumulative.Refused += st.Refused
+	return st
+}
+
+func (e *Engine) interact(consumer, provider int, candidates []int, st *RoundStats) {
+	pu := e.snet.User(provider)
+	cu := e.snet.User(consumer)
+	tx := e.snet.NextTxID()
+
+	// The provider judges the (possibly imposed) request against its own
+	// intentions.
+	e.providers[provider].Observe(consumer)
+
+	if !pu.Behavior.Serves(e.rng) {
+		st.BadService++
+		st.Refused++
+		e.snet.Record(social.Interaction{
+			ID: tx, Consumer: consumer, Provider: provider,
+			Quality: 0, Outcome: social.Refused, Rating: 0, HonestRating: true,
+		})
+		e.consumers[consumer].ObserveQuality(provider, candidates, 0)
+		e.consumers[consumer].UpdatePreference(provider, 0)
+		e.offerReport(tx, consumer, provider, 0)
+		return
+	}
+	quality := pu.Behavior.ServiceQuality(e.rng, e.round)
+	// The consumer judges the allocation against its intentions and the
+	// quality it actually received.
+	e.consumers[consumer].ObserveQuality(provider, candidates, quality)
+	outcome := social.Good
+	if quality < 0.5 {
+		outcome = social.Bad
+		st.BadService++
+	}
+	rating, honest := e.rate(cu, consumer, provider, quality)
+	e.snet.Record(social.Interaction{
+		ID: tx, Consumer: consumer, Provider: provider,
+		Quality: quality, Outcome: outcome, Rating: rating, HonestRating: honest,
+	})
+	e.consumers[consumer].UpdatePreference(provider, quality)
+	if e.ledger != nil {
+		// Interacting discloses the consumer's profile to the provider.
+		e.ledger.Record(privacy.Disclosure{
+			Owner:       consumer,
+			Item:        "profile/" + strconv.Itoa(consumer),
+			Sensitivity: social.Medium,
+			Recipient:   provider,
+			Purpose:     privacy.SocialUse,
+			Consented:   true,
+		})
+	}
+	e.offerReport(tx, consumer, provider, rating)
+}
+
+// rate computes the consumer's reported rating, honouring the honesty
+// override when installed.
+func (e *Engine) rate(cu *social.User, consumer, provider int, quality float64) (float64, bool) {
+	if e.honestOverride != nil {
+		if e.rng.Bool(e.honestOverride[consumer]) {
+			return quality, true
+		}
+		return 1 - quality, false
+	}
+	return cu.Behavior.Rate(e.rng, provider, quality), cu.Behavior.Honest(provider)
+}
+
+func (e *Engine) offerReport(tx uint64, rater, ratee int, value float64) {
+	// Gatherer errors only arise from malformed reports, which the engine
+	// never produces; drop the report if the mechanism rejects it.
+	shared, _ := e.gatherer.Offer(e.mech, reputation.Report{
+		TxID: tx, Rater: rater, Ratee: ratee, Value: value,
+	})
+	if shared && e.ledger != nil {
+		// Sharing feedback discloses the rater's behavioural data to the
+		// reputation layer (recipient -1 = the mechanism). Items are
+		// per-transaction so exposure grows with each shared report.
+		e.ledger.Record(privacy.Disclosure{
+			Owner:       rater,
+			Item:        "feedback/" + strconv.Itoa(rater) + "/" + strconv.FormatUint(tx, 10),
+			Sensitivity: social.Low,
+			Recipient:   -1,
+			Purpose:     privacy.ReputationUse,
+			Consented:   true,
+		})
+	}
+}
+
+// sampleCandidates picks the candidate provider set for a consumer: its
+// friends first (social locality), padded with uniform strangers.
+func (e *Engine) sampleCandidates(consumer int) []int {
+	cfg := e.cfg
+	out := make([]int, 0, cfg.CandidateSize)
+	seen := map[int]bool{consumer: true}
+	friends := e.snet.Friends().Neighbors(consumer)
+	if len(friends) > 0 {
+		for _, idx := range e.rng.Perm(len(friends)) {
+			if len(out) >= cfg.CandidateSize/2+1 {
+				break
+			}
+			f := friends[idx]
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	for guard := 0; len(out) < cfg.CandidateSize && guard < cfg.NumPeers*4; guard++ {
+		p := e.rng.Intn(cfg.NumPeers)
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Run executes n rounds.
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Round()
+	}
+}
+
+// Summary aggregates scenario-level metrics.
+type Summary struct {
+	Rounds int
+	// BadServiceRate is the cumulative fraction of interactions with bad
+	// or refused service.
+	BadServiceRate float64
+	// RecentBadRate is the bad-service rate over the last quarter of
+	// rounds (the converged regime).
+	RecentBadRate float64
+	// Tau is the Kendall rank correlation between mechanism scores and
+	// ground-truth provider quality — the paper's "consistency with the
+	// reality" reputation power.
+	Tau float64
+	// ConsumerSat / ProviderSat are the mean long-run satisfactions.
+	ConsumerSat, ProviderSat float64
+	// ShareRate is the fraction of reports actually disclosed.
+	ShareRate float64
+}
+
+// Summarize computes the summary so far.
+func (e *Engine) Summarize() Summary {
+	e.mech.Compute()
+	s := Summary{Rounds: e.round}
+	if e.cumulative.Interactions > 0 {
+		s.BadServiceRate = float64(e.cumulative.BadService) / float64(e.cumulative.Interactions)
+	}
+	q := len(e.rounds) / 4
+	if q < 1 {
+		q = 1
+	}
+	recent := RoundStats{}
+	for _, r := range e.rounds[len(e.rounds)-min(q, len(e.rounds)):] {
+		recent.Interactions += r.Interactions
+		recent.BadService += r.BadService
+	}
+	s.RecentBadRate = recent.BadRate()
+	// Reputation power = rank agreement between scores and realized
+	// behaviour, over peers that actually served (others have no ground
+	// truth to be consistent with).
+	served := make([]bool, e.cfg.NumPeers)
+	for _, i := range e.snet.Interactions() {
+		served[i.Provider] = true
+	}
+	gt := e.snet.GroundTruthQuality()
+	scores := e.mech.Scores()
+	var gtServed, scServed []float64
+	for p, ok := range served {
+		if ok {
+			gtServed = append(gtServed, gt[p])
+			scServed = append(scServed, scores[p])
+		}
+	}
+	s.Tau = metrics.KendallTau(scServed, gtServed)
+	cs := make([]float64, len(e.consumers))
+	ps := make([]float64, len(e.providers))
+	for i := range e.consumers {
+		cs[i] = e.consumers[i].Satisfaction()
+		ps[i] = e.providers[i].Satisfaction()
+	}
+	s.ConsumerSat = metrics.Mean(cs)
+	s.ProviderSat = metrics.Mean(ps)
+	if tot := e.gatherer.Gathered + e.gatherer.Withheld; tot > 0 {
+		s.ShareRate = float64(e.gatherer.Gathered) / float64(tot)
+	}
+	return s
+}
+
+// ConsumerSatisfactions returns each consumer's long-run satisfaction.
+func (e *Engine) ConsumerSatisfactions() []float64 {
+	out := make([]float64, len(e.consumers))
+	for i, c := range e.consumers {
+		out[i] = c.Satisfaction()
+	}
+	return out
+}
+
+// ProviderSatisfactions returns each provider's long-run satisfaction.
+func (e *Engine) ProviderSatisfactions() []float64 {
+	out := make([]float64, len(e.providers))
+	for i, p := range e.providers {
+		out[i] = p.Satisfaction()
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
