@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -108,7 +109,7 @@ func BenchmarkE6AreaA(b *testing.B) {
 		GridSize: 3,
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Explore(cfg); err != nil {
+		if _, err := core.Explore(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -224,7 +225,7 @@ func BenchmarkE10Optimize(b *testing.B) {
 		Weights:  core.ContextWeights(core.PrivacyCritical),
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Optimize(cfg, core.Constraints{MinPrivacy: 0.5}); err != nil {
+		if _, err := core.Optimize(context.Background(), cfg, core.Constraints{MinPrivacy: 0.5}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/metrics"
-	"repro/internal/reputation/anonrep"
-	"repro/internal/workload"
+	"repro/trustnet"
 )
 
 // runE11 measures the reputation/anonymity trade-off of the anonymous
@@ -34,34 +32,35 @@ func runE11(w io.Writer, p params) error {
 		{0.25, 0.10},
 		{0.50, 0.20},
 	}
-	tab := metrics.NewTable(
+	tab := trustnet.NewTable(
 		fmt.Sprintf("E11: pseudonymous reputation — anonymity vs accuracy (%d peers, 30%% malicious)", n),
 		"granularity", "noise", "linkability", "tau", "bad-rate")
-	var link, tau metrics.Series
+	var link, tau trustnet.Series
 	link.Name, tau.Name = "linkability", "tau"
 	for _, s := range settings {
-		mech, err := anonrep.New(anonrep.Config{
+		mech, err := trustnet.NewAnonRep(trustnet.AnonRepConfig{
 			N: n, Granularity: s.gran, Noise: s.noise, Seed: p.seed,
 		})
 		if err != nil {
 			return err
 		}
-		eng, err := workload.NewEngine(workload.Config{
-			Seed:           p.seed,
-			NumPeers:       n,
-			Mix:            baseMix(0.3),
-			RecomputeEvery: 2,
-		}, mech)
+		eng, err := trustnet.New(
+			trustnet.WithPeers(n),
+			trustnet.WithRNGSeed(p.seed),
+			trustnet.WithMix(baseMix(0.3)),
+			trustnet.WithReputationMechanism(trustnet.UseMechanism(mech)),
+			trustnet.WithRecomputeEvery(2),
+		)
 		if err != nil {
 			return err
 		}
 		var advSum float64
 		for c := 0; c < chunks; c++ {
-			eng.Run(roundsPerChunk)
+			eng.RunRounds(roundsPerChunk)
 			mech.NextEpoch()
 			advSum += mech.LinkabilityAdvantage()
 		}
-		sum := eng.Summarize()
+		sum := eng.Summary()
 		adv := advSum / float64(chunks)
 		tab.AddRow(s.gran, s.noise, adv, sum.Tau, sum.RecentBadRate)
 		link.Add(s.noise, adv)

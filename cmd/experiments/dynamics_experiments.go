@@ -1,22 +1,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
-	"repro/internal/adversary"
-	"repro/internal/core"
-	"repro/internal/metrics"
-	"repro/internal/reputation/eigentrust"
-	"repro/internal/workload"
+	"repro/trustnet"
 )
 
-func baseMix(malicious float64) adversary.Mix {
-	return adversary.Mix{
-		Fractions: map[adversary.Class]float64{
-			adversary.Honest:    1 - malicious,
-			adversary.Malicious: malicious,
+func baseMix(malicious float64) trustnet.Mix {
+	return trustnet.Mix{
+		Fractions: map[trustnet.Class]float64{
+			trustnet.Honest:    1 - malicious,
+			trustnet.Malicious: malicious,
 		},
 		// The pre-trusted set {0,1,2} is known-good (network founders),
 		// matching EigenTrust's deployment assumption.
@@ -42,22 +39,25 @@ func (p params) epochs(full int) int {
 	return full
 }
 
-func newDynamics(p params, coupled bool, malicious float64, n int) (*core.Dynamics, error) {
-	mech, err := eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1, 2}})
-	if err != nil {
-		return nil, err
+// scenario is the shared option template of the experiments: the standard
+// population on the standard mechanism at the standard recompute cadence.
+func scenario(p params, malicious float64, n int) []trustnet.Option {
+	return []trustnet.Option{
+		trustnet.WithPeers(n),
+		trustnet.WithRNGSeed(p.seed),
+		trustnet.WithMix(baseMix(malicious)),
+		trustnet.WithReputationMechanism(eigenFactory()),
+		trustnet.WithRecomputeEvery(2),
 	}
-	return core.NewDynamics(core.DynamicsConfig{
-		Workload: workload.Config{
-			Seed:           p.seed,
-			NumPeers:       n,
-			Mix:            baseMix(malicious),
-			Disclosure:     0.8,
-			RecomputeEvery: 2,
-		},
-		Coupled:     coupled,
-		EpochRounds: 8,
-	}, mech)
+}
+
+func newEngine(p params, coupled bool, malicious float64, n int) (*trustnet.Engine, error) {
+	opts := append(scenario(p, malicious, n),
+		trustnet.WithPrivacyPolicy(trustnet.PrivacyPolicy{Disclosure: 0.8}),
+		trustnet.WithCoupling(coupled),
+		trustnet.WithEpochRounds(8),
+	)
+	return trustnet.New(opts...)
 }
 
 // runE1 reproduces Figure 1: with the §3 couplings enabled, trust,
@@ -66,23 +66,24 @@ func newDynamics(p params, coupled bool, malicious float64, n int) (*core.Dynami
 func runE1(w io.Writer, p params) error {
 	n := p.peers(200)
 	epochs := p.epochs(12)
-	coupled, err := newDynamics(p, true, 0.3, n)
+	coupled, err := newEngine(p, true, 0.3, n)
 	if err != nil {
 		return err
 	}
-	decoupled, err := newDynamics(p, false, 0.3, n)
+	decoupled, err := newEngine(p, false, 0.3, n)
 	if err != nil {
 		return err
 	}
-	hc, err := coupled.Run(epochs)
+	ctx := context.Background()
+	hc, err := coupled.Run(ctx, epochs)
 	if err != nil {
 		return err
 	}
-	hd, err := decoupled.Run(epochs)
+	hd, err := decoupled.Run(ctx, epochs)
 	if err != nil {
 		return err
 	}
-	tab := metrics.NewTable("E1: coupled vs decoupled dynamics (200 peers, 30% malicious)",
+	tab := trustnet.NewTable("E1: coupled vs decoupled dynamics (200 peers, 30% malicious)",
 		"epoch", "trust(c)", "sat(c)", "rep(c)", "priv(c)", "disclose(c)", "honesty(c)",
 		"trust(d)", "disclose(d)")
 	for i := range hc {
@@ -100,13 +101,13 @@ func runE1(w io.Writer, p params) error {
 // reinforcement converges monotonically to a single fixed point from any
 // initial trust level.
 func runE2(w io.Writer, p params) error {
-	cfg := core.MapConfig{Reputation: 0.8, Privacy: 0.8}
-	tab := metrics.NewTable("E2: trust<->satisfaction iterated map (R=0.8, P=0.8)",
+	cfg := trustnet.MapConfig{Reputation: 0.8, Privacy: 0.8}
+	tab := trustnet.NewTable("E2: trust<->satisfaction iterated map (R=0.8, P=0.8)",
 		"t0", "t@5", "t@15", "t@40", "monotone")
 	var fixed []float64
 	for i := 0; i <= 10; i++ {
 		t0 := float64(i) / 10
-		traj, err := core.RunIteratedMap(t0, 40, cfg)
+		traj, err := trustnet.RunIteratedMap(t0, 40, cfg)
 		if err != nil {
 			return err
 		}
@@ -121,7 +122,7 @@ func runE2(w io.Writer, p params) error {
 		tab.AddRow(t0, traj[5], traj[15], traj[40], mono)
 	}
 	tab.Render(w)
-	spread := metrics.Quantile(fixed, 1) - metrics.Quantile(fixed, 0)
+	spread := trustnet.Quantile(fixed, 1) - trustnet.Quantile(fixed, 0)
 	fmt.Fprintf(w, "fixed-point spread over 11 starting points: %.6f (single attractor)\n", spread)
 	return nil
 }
@@ -130,13 +131,13 @@ func runE2(w io.Writer, p params) error {
 // 2+3: more power ⇒ more trust ⇒ more satisfaction and more honest
 // contribution.
 func runE3(w io.Writer, p params) error {
-	tab := metrics.NewTable("E3: forced reputation power -> fixed-point trust, satisfaction, honesty",
+	tab := trustnet.NewTable("E3: forced reputation power -> fixed-point trust, satisfaction, honesty",
 		"power R", "trust*", "satisfaction*", "honesty*")
 	h0 := 0.3
 	var trusts []float64
 	for i := 0; i <= 10; i++ {
 		r := float64(i) / 10
-		traj, err := core.RunIteratedMap(0.5, 80, core.MapConfig{Reputation: r, Privacy: 0.8})
+		traj, err := trustnet.RunIteratedMap(0.5, 80, trustnet.MapConfig{Reputation: r, Privacy: 0.8})
 		if err != nil {
 			return err
 		}
@@ -173,15 +174,15 @@ func runE4(w io.Writer, p params) error {
 		{"10% malicious (healthy)", 0.1},
 		{"70% malicious (majority untrustworthy)", 0.7},
 	}
-	tab := metrics.NewTable("E4: system trust under honest vs untrustworthy majority",
+	tab := trustnet.NewTable("E4: system trust under honest vs untrustworthy majority",
 		"population", "trust", "satisfaction", "rep facet", "community", "disclosure", "bad-rate")
 	var healthyTrust, hostileTrust, hostileDisc float64
 	for _, r := range rows {
-		d, err := newDynamics(p, true, r.malicious, n)
+		eng, err := newEngine(p, true, r.malicious, n)
 		if err != nil {
 			return err
 		}
-		hist, err := d.Run(epochs)
+		hist, err := eng.Run(context.Background(), epochs)
 		if err != nil {
 			return err
 		}
@@ -213,24 +214,20 @@ func runE5(w io.Writer, p params) error {
 	if p.quick {
 		seeds = seeds[:2]
 	}
-	var priv, rep, sat, trust metrics.Series
+	var priv, rep, sat, trust trustnet.Series
 	priv.Name, rep.Name, sat.Name, trust.Name = "privacy", "rep-power", "global-sat", "trust"
 	var sats []float64
 	for i := 0; i <= 10; i++ {
 		d := float64(i) / 10
-		var sP, sR, sS, sT metrics.Stream
+		var sP, sR, sS, sT trustnet.Stream
 		for _, seed := range seeds {
-			cfg := core.ExploreConfig{
-				Base: workload.Config{
-					Seed:           seed,
-					NumPeers:       n,
-					Mix:            baseMix(0.3),
-					RecomputeEvery: 2,
-				},
-				Mechanism: eigenFactory(),
-				Rounds:    rounds,
+			sp := p
+			sp.seed = seed
+			cfg := trustnet.ExploreConfig{
+				Scenario: scenario(sp, 0.3, n),
+				Rounds:   rounds,
 			}
-			pt, err := core.EvaluateSetting(cfg, core.Setting{Disclosure: d})
+			pt, err := trustnet.EvaluateSetting(cfg, trustnet.Setting{Disclosure: d})
 			if err != nil {
 				return err
 			}
@@ -245,7 +242,7 @@ func runE5(w io.Writer, p params) error {
 		trust.Add(d, sT.Mean())
 		sats = append(sats, sS.Mean())
 	}
-	metrics.RenderSeries(w, "E5: disclosure sweep (Fig.2 right)", "disclosure", &priv, &rep, &sat, &trust)
+	trustnet.RenderSeries(w, "E5: disclosure sweep (Fig.2 right)", "disclosure", &priv, &rep, &sat, &trust)
 	fmt.Fprintf(w, "privacy monotone down: %v; reputation power monotone up: %v\n",
 		priv.MonotoneDown(0.02), rep.MonotoneUp(0.08))
 	// Iso-satisfaction: find two settings with (near-)equal global

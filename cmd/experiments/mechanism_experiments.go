@@ -1,23 +1,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"repro/internal/adversary"
-	"repro/internal/core"
-	"repro/internal/metrics"
-	"repro/internal/reputation"
-	"repro/internal/reputation/eigentrust"
-	"repro/internal/reputation/powertrust"
-	"repro/internal/reputation/trustme"
-	"repro/internal/workload"
+	"repro/trustnet"
 )
 
-func eigenFactory() core.MechanismFactory {
-	return func(n int) (reputation.Mechanism, error) {
-		return eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1, 2}})
-	}
+func eigenFactory() trustnet.MechanismFactory {
+	return trustnet.EigenTrust(trustnet.EigenTrustConfig{Pretrusted: []int{0, 1, 2}})
 }
 
 // runE6 reproduces Figure 2 (left): the grid over the two settable axes is
@@ -30,23 +22,17 @@ func runE6(w io.Writer, p params) error {
 	if p.quick {
 		grid, rounds = 4, 20
 	}
-	cfg := core.ExploreConfig{
-		Base: workload.Config{
-			Seed:           p.seed,
-			NumPeers:       n,
-			Mix:            baseMix(0.3),
-			RecomputeEvery: 2,
-		},
-		Mechanism:  eigenFactory(),
+	cfg := trustnet.ExploreConfig{
+		Scenario:   scenario(p, 0.3, n),
 		Rounds:     rounds,
 		GridSize:   grid,
-		Thresholds: core.Facets{Satisfaction: 0.6, Reputation: 0.6, Privacy: 0.8},
+		Thresholds: trustnet.Facets{Satisfaction: 0.6, Reputation: 0.6, Privacy: 0.8},
 	}
-	res, err := core.Explore(cfg)
+	res, err := trustnet.Explore(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
-	tab := metrics.NewTable("E6: (disclosure x trust-gate) grid — Area A membership",
+	tab := trustnet.NewTable("E6: (disclosure x trust-gate) grid — Area A membership",
 		"disclosure", "gate", "S", "R", "P", "trust", "in Area A")
 	thr := cfg.Thresholds
 	for _, pt := range res.Points {
@@ -76,51 +62,42 @@ func runE7(w io.Writer, p params) error {
 	}
 	fractions := []float64{0, 0.2, 0.4, 0.6, 0.8}
 	type mkMech struct {
-		name string
-		make func() (reputation.Mechanism, error)
+		name    string
+		factory trustnet.MechanismFactory
 	}
 	mechs := []mkMech{
-		{"none", func() (reputation.Mechanism, error) { return reputation.NewNone(n), nil }},
-		{"eigentrust", func() (reputation.Mechanism, error) {
-			return eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1, 2}})
-		}},
-		{"powertrust", func() (reputation.Mechanism, error) {
-			return powertrust.New(powertrust.Config{N: n})
-		}},
-		{"trustme", func() (reputation.Mechanism, error) {
-			return trustme.New(trustme.Config{N: n})
-		}},
+		{"none", trustnet.NoReputation()},
+		{"eigentrust", eigenFactory()},
+		{"powertrust", trustnet.PowerTrust(trustnet.PowerTrustConfig{})},
+		{"trustme", trustnet.TrustMe(trustnet.TrustMeConfig{})},
 	}
-	tab := metrics.NewTable(
+	tab := trustnet.NewTable(
 		fmt.Sprintf("E7: bad-service rate by mechanism and malicious fraction (%d peers, %d rounds)", n, rounds),
 		"malicious", "none", "eigentrust", "powertrust", "trustme")
-	taus := metrics.NewTable("E7b: rank accuracy (tau) and cost at 40% malicious",
+	taus := trustnet.NewTable("E7b: rank accuracy (tau) and cost at 40% malicious",
 		"mechanism", "tau", "converge-rounds", "extra-messages")
 	for _, frac := range fractions {
 		row := []any{frac}
 		for _, mk := range mechs {
-			mech, err := mk.make()
+			eng, err := trustnet.New(
+				trustnet.WithPeers(n),
+				trustnet.WithRNGSeed(p.seed),
+				trustnet.WithMix(baseMix(frac)),
+				trustnet.WithReputationMechanism(mk.factory),
+				trustnet.WithRecomputeEvery(2),
+			)
 			if err != nil {
 				return err
 			}
-			eng, err := workload.NewEngine(workload.Config{
-				Seed:           p.seed,
-				NumPeers:       n,
-				Mix:            baseMix(frac),
-				RecomputeEvery: 2,
-			}, mech)
-			if err != nil {
-				return err
-			}
-			eng.Run(rounds)
-			s := eng.Summarize()
+			eng.RunRounds(rounds)
+			s := eng.Summary()
 			row = append(row, s.RecentBadRate)
 			if frac == 0.4 {
 				var msgs int64
-				if tm, ok := mech.(*trustme.Mechanism); ok {
+				if tm, ok := eng.Mechanism().(*trustnet.TrustMeMechanism); ok {
 					msgs = tm.Messages
 				}
-				taus.AddRow(mk.name, s.Tau, convergenceRounds(mech, n), msgs)
+				taus.AddRow(mk.name, s.Tau, convergenceRounds(eng.Mechanism(), n), msgs)
 			}
 		}
 		tab.AddRow(row...)
@@ -130,22 +107,26 @@ func runE7(w io.Writer, p params) error {
 
 	// Convergence ablation: PowerTrust's look-ahead random walk vs the
 	// plain walk on the same feedback.
-	la, err := powertrust.New(powertrust.Config{N: 50, Epsilon: 1e-10})
+	la, err := trustnet.NewPowerTrust(trustnet.PowerTrustConfig{N: 50, Epsilon: 1e-10})
 	if err != nil {
 		return err
 	}
-	plain, err := powertrust.NewPlain(powertrust.Config{N: 50, Epsilon: 1e-10})
+	plain, err := trustnet.NewPowerTrustPlain(trustnet.PowerTrustConfig{N: 50, Epsilon: 1e-10})
 	if err != nil {
 		return err
 	}
-	for _, m := range []reputation.Mechanism{la, plain} {
-		eng, err := workload.NewEngine(workload.Config{
-			Seed: p.seed, NumPeers: 50, Mix: baseMix(0.3), RecomputeEvery: 1000,
-		}, m)
+	for _, m := range []trustnet.Mechanism{la, plain} {
+		eng, err := trustnet.New(
+			trustnet.WithPeers(50),
+			trustnet.WithRNGSeed(p.seed),
+			trustnet.WithMix(baseMix(0.3)),
+			trustnet.WithReputationMechanism(trustnet.UseMechanism(m)),
+			trustnet.WithRecomputeEvery(1000),
+		)
 		if err != nil {
 			return err
 		}
-		eng.Run(20)
+		eng.RunRounds(20)
 	}
 	fmt.Fprintf(w, "PowerTrust LRW convergence: look-ahead %d rounds vs plain %d rounds\n",
 		la.Compute(), plain.Compute())
@@ -154,8 +135,8 @@ func runE7(w io.Writer, p params) error {
 
 // convergenceRounds measures a full from-dirty recompute by submitting one
 // fresh report and recomputing.
-func convergenceRounds(m reputation.Mechanism, n int) int {
-	_ = m.Submit(reputation.Report{TxID: ^uint64(0), Rater: n - 1, Ratee: n - 2, Value: 0.9})
+func convergenceRounds(m trustnet.Mechanism, n int) int {
+	_ = m.Submit(trustnet.Report{TxID: ^uint64(0), Rater: n - 1, Ratee: n - 2, Value: 0.9})
 	return m.Compute()
 }
 
@@ -169,42 +150,37 @@ func runE8(w io.Writer, p params) error {
 	if p.quick {
 		rounds = 25
 	}
-	classes := []adversary.Class{
-		adversary.Malicious, adversary.Traitor, adversary.Slanderer, adversary.Colluder,
+	classes := []trustnet.Class{
+		trustnet.Malicious, trustnet.Traitor, trustnet.Slanderer, trustnet.Colluder,
 	}
-	tab := metrics.NewTable("E8: damage by adversary class at 30% (higher tau / lower bad-rate = more robust)",
+	tab := trustnet.NewTable("E8: damage by adversary class at 30% (higher tau / lower bad-rate = more robust)",
 		"class", "eigentrust tau", "eigentrust bad", "powertrust tau", "powertrust bad")
 	for _, cls := range classes {
-		mix := adversary.Mix{
-			Fractions: map[adversary.Class]float64{
-				adversary.Honest: 0.7,
-				cls:              0.3,
+		mix := trustnet.Mix{
+			Fractions: map[trustnet.Class]float64{
+				trustnet.Honest: 0.7,
+				cls:             0.3,
 			},
 			ForceHonest: []int{0, 1, 2},
 		}
 		row := []any{cls.String()}
-		for _, mechName := range []string{"eigentrust", "powertrust"} {
-			var mech reputation.Mechanism
-			var err error
-			if mechName == "eigentrust" {
-				mech, err = eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1, 2}})
-			} else {
-				mech, err = powertrust.New(powertrust.Config{N: n})
-			}
+		factories := []trustnet.MechanismFactory{
+			eigenFactory(),
+			trustnet.PowerTrust(trustnet.PowerTrustConfig{}),
+		}
+		for _, factory := range factories {
+			eng, err := trustnet.New(
+				trustnet.WithPeers(n),
+				trustnet.WithRNGSeed(p.seed),
+				trustnet.WithMix(mix),
+				trustnet.WithReputationMechanism(factory),
+				trustnet.WithRecomputeEvery(2),
+			)
 			if err != nil {
 				return err
 			}
-			eng, err := workload.NewEngine(workload.Config{
-				Seed:           p.seed,
-				NumPeers:       n,
-				Mix:            mix,
-				RecomputeEvery: 2,
-			}, mech)
-			if err != nil {
-				return err
-			}
-			eng.Run(rounds)
-			s := eng.Summarize()
+			eng.RunRounds(rounds)
+			s := eng.Summary()
 			row = append(row, s.Tau, s.RecentBadRate)
 		}
 		tab.AddRow(row...)
@@ -212,18 +188,18 @@ func runE8(w io.Writer, p params) error {
 	tab.Render(w)
 
 	// Whitewash contrast: a badly-rated peer resets its identity.
-	et, err := eigentrust.New(eigentrust.Config{N: 20, Pretrusted: []int{1, 2}})
+	et, err := trustnet.NewEigenTrust(trustnet.EigenTrustConfig{N: 20, Pretrusted: []int{1, 2}})
 	if err != nil {
 		return err
 	}
-	tm, err := trustme.New(trustme.Config{N: 20})
+	tm, err := trustnet.NewTrustMe(trustnet.TrustMeConfig{N: 20})
 	if err != nil {
 		return err
 	}
 	tx := uint64(1)
 	for rater := 1; rater < 20; rater++ {
 		for k := 0; k < 3; k++ {
-			r := reputation.Report{TxID: tx, Rater: rater, Ratee: 0, Value: 0.05}
+			r := trustnet.Report{TxID: tx, Rater: rater, Ratee: 0, Value: 0.05}
 			if err := et.Submit(r); err != nil {
 				return err
 			}
@@ -233,7 +209,7 @@ func runE8(w io.Writer, p params) error {
 			tx++
 			// Some good peers also rate each other so peer 0 is not the
 			// only scored peer.
-			other := reputation.Report{TxID: tx, Rater: rater, Ratee: (rater % 19) + 1, Value: 0.9}
+			other := trustnet.Report{TxID: tx, Rater: rater, Ratee: (rater % 19) + 1, Value: 0.9}
 			if other.Rater != other.Ratee {
 				_ = et.Submit(other)
 				_ = tm.Submit(other)
@@ -248,7 +224,7 @@ func runE8(w io.Writer, p params) error {
 	tm.Whitewash(0)
 	et.Compute()
 	tm.Compute()
-	wt := metrics.NewTable("E8b: whitewash laundering (peer 0 resets identity after bad ratings)",
+	wt := trustnet.NewTable("E8b: whitewash laundering (peer 0 resets identity after bad ratings)",
 		"mechanism", "score before", "score after reset", "reset gain", "laundered?")
 	wt.AddRow("eigentrust (zero-default)", etBefore, et.Score(0), et.Score(0)-etBefore, et.Score(0)-etBefore > 0.1)
 	wt.AddRow("trustme (neutral-default)", tmBefore, tm.Score(0), tm.Score(0)-tmBefore, tm.Score(0)-tmBefore > 0.1)

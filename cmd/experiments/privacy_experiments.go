@@ -1,17 +1,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
-	"repro/internal/core"
-	"repro/internal/dht"
-	"repro/internal/metrics"
-	"repro/internal/privacy"
-	"repro/internal/sim"
-	"repro/internal/social"
-	"repro/internal/workload"
+	"repro/trustnet"
 )
 
 // runE9 exercises the PriServ-style privacy service against the full OECD
@@ -24,36 +19,31 @@ func runE9(w io.Writer, p params) error {
 	if p.quick {
 		nOwners, nRequests = 40, 400
 	}
-	ring := dht.NewRing(3)
-	for i := 0; i < nNodes; i++ {
-		if err := ring.Join(i); err != nil {
-			return err
-		}
-	}
-	ring.Stabilize()
-	ledger := privacy.NewLedger()
-	s := sim.New()
-	svc, err := privacy.NewService(ring, ledger, s)
+	s := trustnet.NewSim()
+	svc, ledger, err := trustnet.NewPrivacyService(nNodes, 3, s)
 	if err != nil {
 		return err
 	}
-	rng := sim.NewRNG(p.seed)
+	rng := trustnet.NewRNG(p.seed)
 
 	// Publish one item per owner with the sensitivity-derived default
 	// policy, friends = even/odd neighborhood.
-	sens := []social.Sensitivity{social.Public, social.Low, social.Medium, social.High}
+	sens := []trustnet.Sensitivity{
+		trustnet.Public, trustnet.LowSensitivity,
+		trustnet.MediumSensitivity, trustnet.HighSensitivity,
+	}
 	for i := 0; i < nOwners; i++ {
 		sc := sens[i%len(sens)]
 		key := fmt.Sprintf("item/%d", i)
-		if err := svc.Publish(i, key, []byte(fmt.Sprintf("data-%d", i)), sc, privacy.DefaultPolicy(sc)); err != nil {
+		if err := svc.Publish(i, key, []byte(fmt.Sprintf("data-%d", i)), sc, trustnet.DefaultPolicy(sc)); err != nil {
 			return err
 		}
 	}
 
-	ops := []privacy.Operation{privacy.Read, privacy.Write, privacy.Share, privacy.Aggregate}
-	purposes := []privacy.Purpose{
-		privacy.SocialUse, privacy.ReputationUse, privacy.ResearchUse,
-		privacy.CommercialUse, privacy.MaintenanceUse,
+	ops := []trustnet.Operation{trustnet.Read, trustnet.Write, trustnet.Share, trustnet.Aggregate}
+	purposes := []trustnet.Purpose{
+		trustnet.SocialUse, trustnet.ReputationUse, trustnet.ResearchUse,
+		trustnet.CommercialUse, trustnet.MaintenanceUse,
 	}
 	granted := 0
 	for k := 0; k < nRequests; k++ {
@@ -77,8 +67,8 @@ func runE9(w io.Writer, p params) error {
 		return err
 	}
 
-	results := privacy.Audit(svc, ledger, s.Now())
-	tab := metrics.NewTable(
+	results := trustnet.AuditPrivacy(svc, ledger, s.Now())
+	tab := trustnet.NewTable(
 		fmt.Sprintf("E9: OECD conformance after %d requests (%d granted)", nRequests, granted),
 		"principle", "pass", "evidence")
 	for _, r := range results {
@@ -86,9 +76,9 @@ func runE9(w io.Writer, p params) error {
 	}
 	tab.Render(w)
 
-	dt := metrics.NewTable("E9b: denial breakdown by policy clause", "reason", "count")
+	dt := trustnet.NewTable("E9b: denial breakdown by policy clause", "reason", "count")
 	type kv struct {
-		reason privacy.DenyReason
+		reason trustnet.DenyReason
 		count  int64
 	}
 	var denials []kv
@@ -116,34 +106,28 @@ func runE10(w io.Writer, p params) error {
 	if p.quick {
 		rounds, grid = 20, 4
 	}
-	base := core.ExploreConfig{
-		Base: workload.Config{
-			Seed:           p.seed,
-			NumPeers:       n,
-			Mix:            baseMix(0.3),
-			RecomputeEvery: 2,
-		},
-		Mechanism: eigenFactory(),
-		Rounds:    rounds,
-		GridSize:  grid,
+	base := trustnet.ExploreConfig{
+		Scenario: scenario(p, 0.3, n),
+		Rounds:   rounds,
+		GridSize: grid,
 	}
 	type row struct {
-		ctx  core.Context
-		cons core.Constraints
+		ctx  trustnet.AppContext
+		cons trustnet.Constraints
 	}
 	rows := []row{
-		{core.Balanced, core.Constraints{}},
-		{core.PrivacyCritical, core.Constraints{MinPrivacy: 0.85}},
-		{core.PerformanceCritical, core.Constraints{MinSatisfaction: 0.6}},
-		{core.MarketplaceContext, core.Constraints{MinReputation: 0.6}},
+		{trustnet.Balanced, trustnet.Constraints{}},
+		{trustnet.PrivacyCritical, trustnet.Constraints{MinPrivacy: 0.85}},
+		{trustnet.PerformanceCritical, trustnet.Constraints{MinSatisfaction: 0.6}},
+		{trustnet.MarketplaceContext, trustnet.Constraints{MinReputation: 0.6}},
 	}
-	tab := metrics.NewTable("E10: optimal setting per applicative context",
+	tab := trustnet.NewTable("E10: optimal setting per applicative context",
 		"context", "disclosure*", "gate*", "S", "R", "P", "trust*")
-	var points []core.Point
+	var points []trustnet.Point
 	for _, r := range rows {
 		cfg := base
-		cfg.Weights = core.ContextWeights(r.ctx)
-		pt, err := core.Optimize(cfg, r.cons)
+		cfg.Weights = trustnet.ContextWeights(r.ctx)
+		pt, err := trustnet.Optimize(context.Background(), cfg, r.cons)
 		if err != nil {
 			return fmt.Errorf("context %v: %w", r.ctx, err)
 		}
@@ -152,7 +136,7 @@ func runE10(w io.Writer, p params) error {
 			pt.Global.Satisfaction, pt.Global.Reputation, pt.Global.Privacy, pt.Trust)
 	}
 	tab.Render(w)
-	distinct := map[core.Setting]bool{}
+	distinct := map[trustnet.Setting]bool{}
 	for _, pt := range points {
 		distinct[pt.Setting] = true
 	}

@@ -8,19 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"repro/internal/adversary"
-	"repro/internal/core"
-	"repro/internal/metrics"
-	"repro/internal/reputation"
-	"repro/internal/reputation/eigentrust"
-	"repro/internal/reputation/powertrust"
-	"repro/internal/reputation/trustme"
-	"repro/internal/workload"
+	"repro/trustnet"
 )
 
 func main() {
@@ -43,7 +37,7 @@ func run(args []string, w io.Writer) error {
 		epochs     = fs.Int("epochs", 10, "coupling epochs")
 		rounds     = fs.Int("rounds", 8, "workload rounds per epoch")
 		seed       = fs.Uint64("seed", 1, "random seed")
-		context    = fs.String("context", "balanced", "weight context: balanced|privacy|performance|marketplace")
+		ctxName    = fs.String("context", "balanced", "weight context: balanced|privacy|performance|marketplace")
 		coupled    = fs.Bool("coupled", true, "enable the §3 feedback loops")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -53,80 +47,73 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("malicious + selfish fractions exceed 1")
 	}
 
-	var mech reputation.Mechanism
-	var err error
+	var factory trustnet.MechanismFactory
 	switch *mechanism {
 	case "eigentrust":
-		mech, err = eigentrust.New(eigentrust.Config{N: *peers, Pretrusted: []int{0, 1, 2}})
+		factory = trustnet.EigenTrust(trustnet.EigenTrustConfig{Pretrusted: []int{0, 1, 2}})
 	case "powertrust":
-		mech, err = powertrust.New(powertrust.Config{N: *peers})
+		factory = trustnet.PowerTrust(trustnet.PowerTrustConfig{})
 	case "trustme":
-		mech, err = trustme.New(trustme.Config{N: *peers})
+		factory = trustnet.TrustMe(trustnet.TrustMeConfig{})
 	case "none":
-		mech = reputation.NewNone(*peers)
+		factory = trustnet.NoReputation()
 	default:
 		return fmt.Errorf("unknown mechanism %q", *mechanism)
 	}
-	if err != nil {
-		return err
-	}
 
-	var weights core.Weights
-	switch *context {
+	var weightCtx trustnet.AppContext
+	switch *ctxName {
 	case "balanced":
-		weights = core.ContextWeights(core.Balanced)
+		weightCtx = trustnet.Balanced
 	case "privacy":
-		weights = core.ContextWeights(core.PrivacyCritical)
+		weightCtx = trustnet.PrivacyCritical
 	case "performance":
-		weights = core.ContextWeights(core.PerformanceCritical)
+		weightCtx = trustnet.PerformanceCritical
 	case "marketplace":
-		weights = core.ContextWeights(core.MarketplaceContext)
+		weightCtx = trustnet.MarketplaceContext
 	default:
-		return fmt.Errorf("unknown context %q", *context)
+		return fmt.Errorf("unknown context %q", *ctxName)
 	}
 
-	dyn, err := core.NewDynamics(core.DynamicsConfig{
-		Workload: workload.Config{
-			Seed:     *seed,
-			NumPeers: *peers,
-			Mix: adversary.Mix{
-				Fractions: map[adversary.Class]float64{
-					adversary.Honest:    1 - *malicious - *selfish,
-					adversary.Malicious: *malicious,
-					adversary.Selfish:   *selfish,
-				},
-				ForceHonest: []int{0, 1, 2},
+	eng, err := trustnet.New(
+		trustnet.WithPeers(*peers),
+		trustnet.WithRNGSeed(*seed),
+		trustnet.WithMix(trustnet.Mix{
+			Fractions: map[trustnet.Class]float64{
+				trustnet.Honest:    1 - *malicious - *selfish,
+				trustnet.Malicious: *malicious,
+				trustnet.Selfish:   *selfish,
 			},
-			Disclosure:     *disclosure,
-			TrustGate:      *gate,
-			RecomputeEvery: 2,
-		},
-		Weights:     weights,
-		Coupled:     *coupled,
-		EpochRounds: *rounds,
-	}, mech)
+			ForceHonest: []int{0, 1, 2},
+		}),
+		trustnet.WithReputationMechanism(factory),
+		trustnet.WithPrivacyPolicy(trustnet.PrivacyPolicy{Disclosure: *disclosure, TrustGate: *gate}),
+		trustnet.WithRecomputeEvery(2),
+		trustnet.WithAppContext(weightCtx),
+		trustnet.WithCoupling(*coupled),
+		trustnet.WithEpochRounds(*rounds),
+	)
 	if err != nil {
 		return err
 	}
-	hist, err := dyn.Run(*epochs)
+	hist, err := eng.Run(context.Background(), *epochs)
 	if err != nil {
 		return err
 	}
 
-	tab := metrics.NewTable(
+	tab := trustnet.NewTable(
 		fmt.Sprintf("trustsim: %d peers, %.0f%% malicious, %s, context %s",
-			*peers, *malicious*100, mech.Name(), *context),
+			*peers, *malicious*100, eng.Mechanism().Name(), weightCtx),
 		"epoch", "trust", "satisfaction", "rep-power", "privacy", "disclosure", "honesty", "bad-rate")
 	for _, e := range hist {
 		tab.AddRow(e.Epoch, e.Trust, e.Satisfaction, e.Reputation, e.Privacy, e.Disclosure, e.Honesty, e.BadRate)
 	}
 	tab.Render(w)
 
-	tm := dyn.TrustModel()
-	fmt.Fprintf(w, "\nfinal global trust: %.4f\n", tm.GlobalTrust())
+	fmt.Fprintf(w, "\nfinal global trust: %.4f\n", eng.GlobalTrust())
 	fmt.Fprintf(w, "system trusted (median >= 0.5): %v; strictly trusted (p10 >= 0.5): %v\n",
-		tm.SystemTrusted(0.5, 0.5), tm.SystemTrusted(0.5, 0.1))
-	sum := dyn.Engine().Summarize()
+		eng.SystemTrusted(0.5, 0.5), eng.SystemTrusted(0.5, 0.1))
+	sum := eng.Summary()
 	fmt.Fprintf(w, "reputation rank accuracy (tau): %.4f; feedback share rate: %.4f\n", sum.Tau, sum.ShareRate)
 	return nil
 }

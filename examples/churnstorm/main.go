@@ -1,37 +1,34 @@
 // Churnstorm: a decentralized network under heavy membership churn with
-// whitewashing adversaries. Shows (a) the gossip peer-sampling overlay and
-// the Chord ring repairing themselves through churn, and (b) why identity
-// cost matters: whitewashers launder TrustMe's neutral-default scores but
-// gain nothing against EigenTrust's zero-default.
+// whitewashing adversaries. Shows (a) the gossip peer-sampling overlay
+// repairing itself through churn, and (b) why identity cost matters:
+// whitewashers launder TrustMe's neutral-default scores but gain nothing
+// against EigenTrust's zero-default.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/overlay"
-	"repro/internal/reputation"
-	"repro/internal/reputation/eigentrust"
-	"repro/internal/reputation/trustme"
-	"repro/internal/sim"
+	"repro/trustnet"
 )
 
 const peers = 100
 
 func main() {
-	s := sim.New()
-	net := overlay.NewNetwork(s, sim.NewRNG(7), peers, overlay.Config{LatencyMin: 1, LatencyMax: 3})
-	sampler := overlay.NewPeerSampler(net, 8)
+	s := trustnet.NewSim()
+	net := trustnet.NewOverlayNetwork(s, trustnet.NewRNG(7), peers,
+		trustnet.OverlayConfig{LatencyMin: 1, LatencyMax: 3})
+	sampler := trustnet.NewPeerSampler(net, 8)
 
 	// Heavy churn: every 20 ticks, 10% of live nodes leave; leavers rejoin
 	// with probability 0.5, and half of the rejoiners whitewash (fresh id).
-	whitewashed := []overlay.NodeID{}
-	churner, err := overlay.StartChurn(net, overlay.ChurnConfig{
+	whitewashed := []trustnet.NodeID{}
+	churner, err := trustnet.StartChurn(net, trustnet.ChurnConfig{
 		Period:        20,
 		LeaveProb:     0.10,
 		RejoinProb:    0.5,
 		WhitewashProb: 0.5,
-		NewIdentity: func(old, fresh overlay.NodeID) overlay.Handler {
+		NewIdentity: func(old, fresh trustnet.NodeID) trustnet.OverlayHandler {
 			whitewashed = append(whitewashed, fresh)
 			// A fresh identity bootstraps into the gossip overlay through
 			// whatever live peers it can find.
@@ -40,7 +37,7 @@ func main() {
 				seeds = seeds[:8]
 			}
 			sampler.Bootstrap(fresh, seeds)
-			return func(m overlay.Message) {}
+			return func(m trustnet.OverlayMessage) {}
 		},
 	})
 	if err != nil {
@@ -72,17 +69,17 @@ func main() {
 
 	// Identity economics: a badly-behaved peer tries to whitewash its way
 	// out of a bad reputation under both score models.
-	et, err := eigentrust.New(eigentrust.Config{N: 30, Pretrusted: []int{1, 2}})
+	et, err := trustnet.NewEigenTrust(trustnet.EigenTrustConfig{N: 30, Pretrusted: []int{1, 2}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	tm, err := trustme.New(trustme.Config{N: 30})
+	tm, err := trustnet.NewTrustMe(trustnet.TrustMeConfig{N: 30})
 	if err != nil {
 		log.Fatal(err)
 	}
 	tx := uint64(1)
 	for rater := 1; rater < 30; rater++ {
-		r := reputation.Report{TxID: tx, Rater: rater, Ratee: 0, Value: 0.05}
+		r := trustnet.Report{TxID: tx, Rater: rater, Ratee: 0, Value: 0.05}
 		if err := et.Submit(r); err != nil {
 			log.Fatal(err)
 		}
@@ -94,8 +91,10 @@ func main() {
 	et.Compute()
 	tm.Compute()
 	fmt.Printf("\npeer 0 after 29 bad ratings:   eigentrust=%.2f  trustme=%.2f\n", et.Score(0), tm.Score(0))
-	et.Whitewash(0)
-	tm.Whitewash(0)
+	// Both mechanisms implement the Whitewasher seam of the facade.
+	for _, m := range []trustnet.Whitewasher{et, tm} {
+		m.Whitewash(0)
+	}
 	et.Compute()
 	tm.Compute()
 	fmt.Printf("peer 0 after whitewashing:     eigentrust=%.2f  trustme=%.2f\n", et.Score(0), tm.Score(0))
@@ -103,7 +102,7 @@ func main() {
 	fmt.Println("the identity-cost argument of the paper's adversary discussion (§2.2).")
 }
 
-func countOriginal(ids []overlay.NodeID) int {
+func countOriginal(ids []trustnet.NodeID) int {
 	n := 0
 	for _, id := range ids {
 		if int(id) < peers {

@@ -8,12 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/adversary"
-	"repro/internal/core"
-	"repro/internal/privacy"
-	"repro/internal/reputation"
-	"repro/internal/reputation/eigentrust"
-	"repro/internal/workload"
+	"repro/trustnet"
 )
 
 const (
@@ -21,45 +16,43 @@ const (
 	rounds = 50
 )
 
-func runScenario(mech reputation.Mechanism) (*workload.Engine, *privacy.Ledger, error) {
-	eng, err := workload.NewEngine(workload.Config{
-		Seed:     7,
-		NumPeers: peers,
-		Mix: adversary.Mix{
-			Fractions: map[adversary.Class]float64{
-				adversary.Honest:    0.7,
-				adversary.Malicious: 0.3,
+func runScenario(mech trustnet.MechanismFactory) (*trustnet.Engine, error) {
+	eng, err := trustnet.New(
+		trustnet.WithPeers(peers),
+		trustnet.WithRNGSeed(7),
+		trustnet.WithMix(trustnet.Mix{
+			Fractions: map[trustnet.Class]float64{
+				trustnet.Honest:    0.7,
+				trustnet.Malicious: 0.3,
 			},
 			ForceHonest: []int{0, 1, 2},
-		},
-		Selection:      workload.SelectProportional, // spread load as EigenTrust recommends
-		RecomputeEvery: 2,
-	}, mech)
+		}),
+		trustnet.WithReputationMechanism(mech),
+		// Spread load as EigenTrust recommends.
+		trustnet.WithSelection(trustnet.SelectProportional),
+		trustnet.WithRecomputeEvery(2),
+	)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	ledger := privacy.NewLedger()
-	eng.AttachLedger(ledger, 50)
-	eng.Run(rounds)
-	return eng, ledger, nil
+	eng.RunRounds(rounds)
+	return eng, nil
 }
 
 func main() {
-	et, err := eigentrust.New(eigentrust.Config{N: peers, Pretrusted: []int{0, 1, 2}})
+	withRep, err := runScenario(trustnet.EigenTrust(trustnet.EigenTrustConfig{
+		Pretrusted: []int{0, 1, 2},
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	withRep, ledger, err := runScenario(et)
-	if err != nil {
-		log.Fatal(err)
-	}
-	without, _, err := runScenario(reputation.NewNone(peers))
+	without, err := runScenario(trustnet.NoReputation())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	sRep := withRep.Summarize()
-	sNone := without.Summarize()
+	sRep := withRep.Summary()
+	sNone := without.Summary()
 	fmt.Println("== corrupted-download rate (last quarter of the run) ==")
 	fmt.Printf("no reputation: %.1f%%\n", 100*sNone.RecentBadRate)
 	fmt.Printf("eigentrust:    %.1f%%  (%.0fx fewer)\n",
@@ -67,14 +60,13 @@ func main() {
 	fmt.Printf("rank accuracy of scores vs true behaviour (tau): %.3f\n\n", sRep.Tau)
 
 	// The privacy bill: what the reputation layer learned about peers.
-	assess := core.Assess(withRep)
-	g := assess.GlobalFacets()
+	g := withRep.Assess().GlobalFacets()
 	fmt.Println("== the privacy cost of that protection ==")
-	fmt.Printf("feedback reports disclosed to the mechanism: %d\n", withRep.Gatherer().Gathered)
-	fmt.Printf("ledgered disclosure events: %d\n", ledger.Len())
+	fmt.Printf("feedback reports disclosed to the mechanism: %d\n", withRep.SharedReports())
+	fmt.Printf("ledgered disclosure events: %d\n", withRep.Ledger().Len())
 	fmt.Printf("mean privacy facet: %.3f (1.0 = nothing shared)\n", g.Privacy)
 
-	trust, err := core.Combine(g, core.DefaultWeights())
+	trust, err := trustnet.Combine(g, trustnet.DefaultWeights())
 	if err != nil {
 		log.Fatal(err)
 	}

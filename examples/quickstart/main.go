@@ -4,53 +4,45 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/adversary"
-	"repro/internal/core"
-	"repro/internal/reputation/eigentrust"
-	"repro/internal/workload"
+	"repro/trustnet"
 )
 
 func main() {
 	const peers = 100
 
-	// 1. A reputation mechanism: EigenTrust with three pre-trusted
-	// founders.
-	mech, err := eigentrust.New(eigentrust.Config{N: peers, Pretrusted: []int{0, 1, 2}})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 2. A population: 70% honest, 30% malicious, on a Barabási–Albert
-	// friendship graph; peers share 80% of their feedback with the
-	// reputation layer.
-	cfg := core.DynamicsConfig{
-		Workload: workload.Config{
-			Seed:     42,
-			NumPeers: peers,
-			Mix: adversary.Mix{
-				Fractions: map[adversary.Class]float64{
-					adversary.Honest:    0.7,
-					adversary.Malicious: 0.3,
-				},
-				ForceHonest: []int{0, 1, 2},
+	// One engine call wires the whole scenario: a population that is 70%
+	// honest and 30% malicious on a Barabási–Albert friendship graph,
+	// EigenTrust with three pre-trusted founders, peers sharing 80% of
+	// their feedback, and the paper's §3 feedback loops enabled.
+	eng, err := trustnet.New(
+		trustnet.WithPeers(peers),
+		trustnet.WithRNGSeed(42),
+		trustnet.WithMix(trustnet.Mix{
+			Fractions: map[trustnet.Class]float64{
+				trustnet.Honest:    0.7,
+				trustnet.Malicious: 0.3,
 			},
-			Disclosure:     0.8,
-			RecomputeEvery: 2,
-		},
-		Coupled:     true, // the paper's §3 feedback loops
-		EpochRounds: 8,
-	}
-
-	// 3. Run the coupled dynamics: facets are measured each epoch, trust
-	// is updated, and trust feeds back into disclosure and honesty.
-	dyn, err := core.NewDynamics(cfg, mech)
+			ForceHonest: []int{0, 1, 2},
+		}),
+		trustnet.WithReputationMechanism(trustnet.EigenTrust(trustnet.EigenTrustConfig{
+			Pretrusted: []int{0, 1, 2},
+		})),
+		trustnet.WithPrivacyPolicy(trustnet.PrivacyPolicy{Disclosure: 0.8}),
+		trustnet.WithRecomputeEvery(2),
+		trustnet.WithCoupling(true),
+		trustnet.WithEpochRounds(8),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	history, err := dyn.Run(6)
+
+	// Run the coupled dynamics: facets are measured each epoch, trust is
+	// updated, and trust feeds back into disclosure and honesty.
+	history, err := eng.Run(context.Background(), 6)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,16 +53,14 @@ func main() {
 			e.Epoch, e.Trust, e.Satisfaction, e.Reputation, e.Privacy)
 	}
 
-	tm := dyn.TrustModel()
-	fmt.Printf("\nglobal trust towards the system: %.4f\n", tm.GlobalTrust())
-	fmt.Printf("system globally trusted (median user >= 0.5): %v\n", tm.SystemTrusted(0.5, 0.5))
+	fmt.Printf("\nglobal trust towards the system: %.4f\n", eng.GlobalTrust())
+	fmt.Printf("system globally trusted (median user >= 0.5): %v\n", eng.SystemTrusted(0.5, 0.5))
 
-	// 4. The same facets under a different applicative context weigh
+	// The same facets under a different applicative context weigh
 	// differently (§4).
-	assess := core.Assess(dyn.Engine())
-	g := assess.GlobalFacets()
-	for _, ctx := range []core.Context{core.Balanced, core.PrivacyCritical, core.PerformanceCritical} {
-		t, err := core.Combine(g, core.ContextWeights(ctx))
+	g := eng.Assess().GlobalFacets()
+	for _, ctx := range []trustnet.AppContext{trustnet.Balanced, trustnet.PrivacyCritical, trustnet.PerformanceCritical} {
+		t, err := trustnet.Combine(g, trustnet.ContextWeights(ctx))
 		if err != nil {
 			log.Fatal(err)
 		}

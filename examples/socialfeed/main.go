@@ -10,53 +10,40 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/dht"
-	"repro/internal/graph"
-	"repro/internal/privacy"
-	"repro/internal/sim"
-	"repro/internal/social"
+	"repro/trustnet"
 )
 
 func main() {
 	const members = 40
-	s := sim.New()
-	rng := sim.NewRNG(2026)
+	s := trustnet.NewSim()
+	rng := trustnet.NewRNG(2026)
 
-	// Substrate: a DHT over the members' machines and a small-world
-	// friendship graph.
-	ring := dht.NewRing(3)
-	for i := 0; i < members; i++ {
-		if err := ring.Join(i); err != nil {
-			log.Fatal(err)
-		}
-	}
-	ring.Stabilize()
-	friends := graph.WattsStrogatz(rng, members, 6, 0.1)
-
-	ledger := privacy.NewLedger()
-	svc, err := privacy.NewService(ring, ledger, s)
+	// Substrate: the privacy service over a replicated DHT of the members'
+	// machines, and a small-world friendship graph.
+	svc, ledger, err := trustnet.NewPrivacyService(members, 3, s)
 	if err != nil {
 		log.Fatal(err)
 	}
+	friends := trustnet.WattsStrogatzGraph(rng, members, 6, 0.1)
 
 	// Every member publishes three items with sensitivity-derived
 	// policies: a public post, a friends-only email, a high-sensitivity
 	// medical note.
 	type item struct {
 		suffix string
-		sens   social.Sensitivity
+		sens   trustnet.Sensitivity
 	}
 	items := []item{
-		{"post", social.Public},
-		{"email", social.Medium},
-		{"medical", social.High},
+		{"post", trustnet.Public},
+		{"email", trustnet.MediumSensitivity},
+		{"medical", trustnet.HighSensitivity},
 	}
 	for m := 0; m < members; m++ {
-		profile := social.StandardProfile(m)
+		profile := trustnet.StandardProfile(m)
 		for _, it := range items {
 			key := fmt.Sprintf("user/%d/%s", m, it.suffix)
 			val := fmt.Sprintf("%s of %s", it.suffix, profile.Attributes[0].Value)
-			if err := svc.Publish(m, key, []byte(val), it.sens, privacy.DefaultPolicy(it.sens)); err != nil {
+			if err := svc.Publish(m, key, []byte(val), it.sens, trustnet.DefaultPolicy(it.sens)); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -77,7 +64,7 @@ func main() {
 		it := items[rng.Intn(len(items))]
 		key := fmt.Sprintf("user/%d/%s", owner, it.suffix)
 		isFriend := friends.HasEdge(reader, owner)
-		if _, _, err := svc.Request(reader, key, privacy.Read, privacy.SocialUse, trust[reader], isFriend); err == nil {
+		if _, _, err := svc.Request(reader, key, trustnet.Read, trustnet.SocialUse, trust[reader], isFriend); err == nil {
 			grants++
 		} else {
 			denials++
@@ -92,7 +79,7 @@ func main() {
 	crawlerDenied := 0
 	for m := 0; m < members; m++ {
 		key := fmt.Sprintf("user/%d/email", m)
-		if _, _, err := svc.Request(members-1, key, privacy.Read, privacy.CommercialUse, 0.99, false); err != nil {
+		if _, _, err := svc.Request(members-1, key, trustnet.Read, trustnet.CommercialUse, 0.99, false); err != nil {
 			crawlerDenied++
 		}
 	}
@@ -114,7 +101,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nOECD audit:")
-	for _, r := range privacy.Audit(svc, ledger, s.Now()) {
+	for _, r := range trustnet.AuditPrivacy(svc, ledger, s.Now()) {
 		fmt.Printf("  %-26s pass=%v (%s)\n", r.Principle, r.Pass, r.Detail)
 	}
 }

@@ -6,43 +6,39 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/adversary"
-	"repro/internal/core"
-	"repro/internal/metrics"
-	"repro/internal/reputation"
-	"repro/internal/reputation/eigentrust"
-	"repro/internal/workload"
+	"repro/trustnet"
 )
 
 func main() {
-	cfg := core.ExploreConfig{
-		Base: workload.Config{
-			Seed:     11,
-			NumPeers: 100,
-			Mix: adversary.Mix{
-				Fractions: map[adversary.Class]float64{
-					adversary.Honest:    0.7,
-					adversary.Malicious: 0.3,
+	cfg := trustnet.ExploreConfig{
+		Scenario: []trustnet.Option{
+			trustnet.WithPeers(100),
+			trustnet.WithRNGSeed(11),
+			trustnet.WithMix(trustnet.Mix{
+				Fractions: map[trustnet.Class]float64{
+					trustnet.Honest:    0.7,
+					trustnet.Malicious: 0.3,
 				},
 				ForceHonest: []int{0, 1, 2},
-			},
-			RecomputeEvery: 2,
-		},
-		Mechanism: func(n int) (reputation.Mechanism, error) {
-			return eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1, 2}})
+			}),
+			trustnet.WithReputationMechanism(trustnet.EigenTrust(trustnet.EigenTrustConfig{
+				Pretrusted: []int{0, 1, 2},
+			})),
+			trustnet.WithRecomputeEvery(2),
 		},
 		Rounds: 30,
 	}
 
-	var priv, rep, sat metrics.Series
+	var priv, rep, sat trustnet.Series
 	priv.Name, rep.Name, sat.Name = "privacy", "reputation-power", "global-satisfaction"
 	for i := 0; i <= 8; i++ {
 		d := float64(i) / 8
-		pt, err := core.EvaluateSetting(cfg, core.Setting{Disclosure: d})
+		pt, err := trustnet.EvaluateSetting(cfg, trustnet.Setting{Disclosure: d})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,15 +46,15 @@ func main() {
 		rep.Add(d, pt.Global.Reputation)
 		sat.Add(d, pt.Global.Satisfaction)
 	}
-	metrics.RenderSeries(os.Stdout, "sharing more helps reputation, costs privacy (Fig. 2 right)",
+	trustnet.RenderSeries(os.Stdout, "sharing more helps reputation, costs privacy (Fig. 2 right)",
 		"disclosure", &priv, &rep, &sat)
 
 	// The optimizer finds different best settings for different contexts.
 	cfg.GridSize = 4
-	for _, ctx := range []core.Context{core.PrivacyCritical, core.PerformanceCritical} {
+	for _, ctx := range []trustnet.AppContext{trustnet.PrivacyCritical, trustnet.PerformanceCritical} {
 		c := cfg
-		c.Weights = core.ContextWeights(ctx)
-		pt, err := core.Optimize(c, core.Constraints{})
+		c.Weights = trustnet.ContextWeights(ctx)
+		pt, err := trustnet.Optimize(context.Background(), c, trustnet.Constraints{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -256,19 +256,35 @@ type Mix struct {
 // Assign deterministically assigns n peers to classes proportionally to the
 // mix (largest-remainder), shuffled by rng. Colluders all share one clique.
 // It returns the behaviour list and the ground-truth class per peer.
+// Validate checks the composition without assigning behaviours. An empty
+// Fractions map is valid (callers default it to all honest).
+func (m Mix) Validate() error {
+	total := 0.0
+	for _, f := range m.Fractions {
+		if f < 0 {
+			return fmt.Errorf("adversary: negative fraction")
+		}
+		total += f
+	}
+	if len(m.Fractions) > 0 && total == 0 {
+		return fmt.Errorf("adversary: empty mix")
+	}
+	return nil
+}
+
 func (m Mix) Assign(rng *sim.RNG, n int, cfg Config) ([]Behavior, []Class, error) {
 	if n <= 0 {
 		return nil, nil, fmt.Errorf("adversary: population size %d must be positive", n)
 	}
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(m.Fractions) == 0 {
+		return nil, nil, fmt.Errorf("adversary: empty mix")
+	}
 	total := 0.0
 	for _, f := range m.Fractions {
-		if f < 0 {
-			return nil, nil, fmt.Errorf("adversary: negative fraction")
-		}
 		total += f
-	}
-	if total == 0 {
-		return nil, nil, fmt.Errorf("adversary: empty mix")
 	}
 	classes := []Class{Honest, Malicious, Selfish, Traitor, Whitewasher, Slanderer, Colluder}
 	counts := make(map[Class]int)

@@ -207,6 +207,12 @@ func (m *TrustModel) SetUserWeights(user int, w Weights) error {
 	return nil
 }
 
+// UserWeights returns the weight profile in effect for a user: her
+// individual profile when one is installed, the model default otherwise.
+func (m *TrustModel) UserWeights(user int) Weights {
+	return m.weightsFor(user)
+}
+
 func (m *TrustModel) weightsFor(user int) Weights {
 	if w, ok := m.userWeights[user]; ok {
 		return w

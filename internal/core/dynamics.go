@@ -16,10 +16,13 @@ type DynamicsConfig struct {
 	Workload workload.Config
 	// Weights combine the facets into trust (default DefaultWeights).
 	Weights Weights
-	// Inertia smooths trust across epochs (default 0.5).
+	// Inertia smooths trust across epochs (default 0.5). The zero value
+	// means "default"; pass any negative value for an explicit zero
+	// (memoryless trust).
 	Inertia float64
 	// BaseHonesty h0 is the truthful-reporting probability at zero trust;
-	// honesty rises to 1 with full trust (default 0.3).
+	// honesty rises to 1 with full trust (default 0.3). The zero value
+	// means "default"; pass any negative value for an explicit zero.
 	BaseHonesty float64
 	// EpochRounds is how many workload rounds one coupling epoch spans
 	// (default 10).
@@ -35,10 +38,16 @@ func (c DynamicsConfig) withDefaults() DynamicsConfig {
 	if c.Weights == (Weights{}) {
 		c.Weights = DefaultWeights()
 	}
-	if c.Inertia == 0 {
+	switch {
+	case c.Inertia < 0:
+		c.Inertia = 0
+	case c.Inertia == 0:
 		c.Inertia = 0.5
 	}
-	if c.BaseHonesty == 0 {
+	switch {
+	case c.BaseHonesty < 0:
+		c.BaseHonesty = 0
+	case c.BaseHonesty == 0:
 		c.BaseHonesty = 0.3
 	}
 	if c.EpochRounds <= 0 {
@@ -109,8 +118,11 @@ func NewDynamics(cfg DynamicsConfig, mech reputation.Mechanism) (*Dynamics, erro
 		honesty:    make([]float64, n),
 	}
 	base := cfg.Workload.Disclosure
-	if base == 0 {
-		base = 1 // config zero value means "default"; see SetBaseDisclosure
+	switch {
+	case base < 0: // the config's explicit-zero sentinel
+		base = 0
+	case base == 0: // config zero value means "default"; see SetBaseDisclosure
+		base = 1
 	}
 	d.baseDisclosure = base
 	for i := 0; i < n; i++ {

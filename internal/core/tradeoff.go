@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/reputation"
@@ -136,8 +137,9 @@ type ExploreResult struct {
 	AreaFraction float64
 }
 
-// Explore sweeps the (disclosure, trust-gate) grid and classifies Area A.
-func Explore(cfg ExploreConfig) (*ExploreResult, error) {
+// Explore sweeps the (disclosure, trust-gate) grid and classifies Area A,
+// honouring ctx between grid points.
+func Explore(ctx context.Context, cfg ExploreConfig) (*ExploreResult, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -146,6 +148,9 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 	g := cfg.GridSize
 	for i := 0; i < g; i++ {
 		for j := 0; j < g; j++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			s := Setting{
 				Disclosure: float64(i) / float64(g-1),
 				TrustGate:  0.9 * float64(j) / float64(g-1),
@@ -196,13 +201,13 @@ var ErrInfeasible = fmt.Errorf("core: no setting satisfies the constraints")
 
 // Optimize finds the maximum-trust setting subject to constraints: a coarse
 // grid pass followed by local hill-climbing refinement around the best
-// feasible point.
-func Optimize(cfg ExploreConfig, cons Constraints) (Point, error) {
+// feasible point, honouring ctx between evaluations.
+func Optimize(ctx context.Context, cfg ExploreConfig, cons Constraints) (Point, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return Point{}, err
 	}
-	res, err := Explore(cfg)
+	res, err := Explore(ctx, cfg)
 	if err != nil {
 		return Point{}, err
 	}
@@ -220,6 +225,9 @@ func Optimize(cfg ExploreConfig, cons Constraints) (Point, error) {
 	for iter := 0; iter < 4; iter++ {
 		improved := false
 		for _, d := range [][2]float64{{step, 0}, {-step, 0}, {0, step}, {0, -step}} {
+			if err := ctx.Err(); err != nil {
+				return Point{}, err
+			}
 			s := Setting{
 				Disclosure: clampTo(best.Setting.Disclosure+d[0], 0, 1),
 				TrustGate:  clampTo(best.Setting.TrustGate+d[1], 0, 0.9),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestEvaluateSettingBounds(t *testing.T) {
 func TestExploreRequiresFactory(t *testing.T) {
 	cfg := exploreConfig()
 	cfg.Mechanism = nil
-	if _, err := Explore(cfg); err == nil {
+	if _, err := Explore(context.Background(), cfg); err == nil {
 		t.Fatal("missing factory accepted")
 	}
 }
@@ -79,7 +80,7 @@ func TestDisclosureAntinomy(t *testing.T) {
 func TestExploreGridAndAreaA(t *testing.T) {
 	cfg := exploreConfig()
 	cfg.Thresholds = Facets{Satisfaction: 0.3, Reputation: 0.3, Privacy: 0.1}
-	res, err := Explore(cfg)
+	res, err := Explore(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestExploreGridAndAreaA(t *testing.T) {
 func TestOptimizeRespectsConstraints(t *testing.T) {
 	cfg := exploreConfig()
 	cons := Constraints{MinPrivacy: 0.5}
-	p, err := Optimize(cfg, cons)
+	p, err := Optimize(context.Background(), cfg, cons)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestOptimizeRespectsConstraints(t *testing.T) {
 		t.Fatalf("optimizer violated privacy constraint: %+v", p)
 	}
 	// An unconstrained optimum must be at least as good.
-	free, err := Optimize(cfg, Constraints{})
+	free, err := Optimize(context.Background(), cfg, Constraints{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestOptimizeRespectsConstraints(t *testing.T) {
 
 func TestOptimizeInfeasible(t *testing.T) {
 	cfg := exploreConfig()
-	_, err := Optimize(cfg, Constraints{MinPrivacy: 0.999, MinReputation: 0.999, MinSatisfaction: 0.999})
+	_, err := Optimize(context.Background(), cfg, Constraints{MinPrivacy: 0.999, MinReputation: 0.999, MinSatisfaction: 0.999})
 	if !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
@@ -140,14 +141,14 @@ func TestDifferentContextsDifferentOptima(t *testing.T) {
 
 	privCfg := base
 	privCfg.Weights = ContextWeights(PrivacyCritical)
-	pPriv, err := Optimize(privCfg, Constraints{})
+	pPriv, err := Optimize(context.Background(), privCfg, Constraints{})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	perfCfg := base
 	perfCfg.Weights = ContextWeights(PerformanceCritical)
-	pPerf, err := Optimize(perfCfg, Constraints{})
+	pPerf, err := Optimize(context.Background(), perfCfg, Constraints{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -61,6 +61,8 @@ type Config struct {
 	CandidateSize int
 	// Disclosure is the uniform initial disclosure level in [0,1]
 	// (default 1): the probability a peer shares each feedback report.
+	// The zero value means "default"; pass any negative value for an
+	// explicit zero (share nothing).
 	Disclosure float64
 	// Selection is the response policy (default SelectBest).
 	Selection Selection
@@ -101,10 +103,13 @@ func (c Config) withDefaults() (Config, error) {
 	if c.CandidateSize <= 0 {
 		c.CandidateSize = 5
 	}
-	if c.Disclosure == 0 {
+	switch {
+	case c.Disclosure < 0:
+		c.Disclosure = 0
+	case c.Disclosure == 0:
 		c.Disclosure = 1
 	}
-	if c.Disclosure < 0 || c.Disclosure > 1 {
+	if c.Disclosure > 1 {
 		return c, fmt.Errorf("workload: disclosure %v out of [0,1]", c.Disclosure)
 	}
 	if c.Selection == 0 {
@@ -123,6 +128,25 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("workload: negative activity skew %v", c.ActivitySkew)
 	}
 	return c, nil
+}
+
+// Validate checks the configuration without assembling an engine; it
+// catches everything NewEngine itself would reject. The public facade runs
+// it before spending single-use resources (e.g. a wrapped mechanism).
+func (c Config) Validate() error {
+	c, err := c.withDefaults()
+	if err != nil {
+		return err
+	}
+	if err := c.Mix.Validate(); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	switch c.Graph {
+	case BarabasiAlbert, WattsStrogatz, ErdosRenyi:
+	default:
+		return fmt.Errorf("workload: unknown graph kind %d", c.Graph)
+	}
+	return nil
 }
 
 // RoundStats summarizes one round.
@@ -311,6 +335,9 @@ func (e *Engine) AttachLedger(l *privacy.Ledger, scale float64) {
 	e.ledger = l
 	e.ledgerScale = scale
 }
+
+// Ledger exposes the attached privacy ledger (nil when none attached).
+func (e *Engine) Ledger() *privacy.Ledger { return e.ledger }
 
 // PrivacyFacets returns each user's privacy facet from the attached ledger
 // (all ones when no ledger is attached: nothing was accounted as disclosed).

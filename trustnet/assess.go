@@ -1,0 +1,88 @@
+package trustnet
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Assessment carries the per-user facets extracted from a running scenario
+// plus the shared reputation-power measurement.
+type Assessment = core.Assessment
+
+// UserAssessment is one user's view in a batch assessment: her measured
+// facets and the combined metric Φ under her weight profile.
+type UserAssessment struct {
+	User   int
+	Facets Facets
+	// Trust is the instantaneous combined metric Φ(facets, weights) under
+	// the user's effective weight profile — not the inertia-smoothed trust
+	// the TrustModel tracks across epochs.
+	Trust float64
+}
+
+// Assess is the single-shot path: measure the three facets of the scenario
+// as it stands (§2.1–2.3 extraction, see the Assessment fields).
+func (e *Engine) Assess() Assessment {
+	return core.Assess(e.workloadEngine())
+}
+
+// AssessAll is the batch path: one facet measurement, then every user's
+// combined trust computed concurrently by a worker pool (WithWorkers caps
+// it; default GOMAXPROCS). The context cancels the fan-out between users.
+func (e *Engine) AssessAll(ctx context.Context) ([]UserAssessment, error) {
+	a := e.Assess()
+	n := len(a.PerUser)
+	tm := e.dyn.TrustModel()
+
+	workers := e.cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	out := make([]UserAssessment, n)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range next {
+				f := a.PerUser[u]
+				trust, err := core.Combine(f, tm.UserWeights(u))
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				out[u] = UserAssessment{User: u, Facets: f, Trust: trust}
+			}
+		}()
+	}
+feed:
+	for u := 0; u < n; u++ {
+		select {
+		case <-ctx.Done():
+			errOnce.Do(func() { firstErr = ctx.Err() })
+			break feed
+		case next <- u:
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+// Package trustnet is the public entry point to the library: a facade over
+// the paper's correlated three-facet trust model ("Trust your Social
+// Network According to Satisfaction, Reputation and Privacy" — Busnel,
+// Serrano-Alvarado, Lamarre, 2010) and the substrates it runs on.
+//
+// The central type is Engine, constructed with functional options:
+//
+//	eng, err := trustnet.New(
+//		trustnet.WithPeers(200),
+//		trustnet.WithRNGSeed(42),
+//		trustnet.WithMix(trustnet.Mix{Fractions: map[trustnet.Class]float64{
+//			trustnet.Honest:    0.7,
+//			trustnet.Malicious: 0.3,
+//		}}),
+//		trustnet.WithReputationMechanism(trustnet.EigenTrust(trustnet.EigenTrustConfig{
+//			Pretrusted: []int{0, 1, 2},
+//		})),
+//		trustnet.WithPrivacyPolicy(trustnet.PrivacyPolicy{Disclosure: 0.8}),
+//		trustnet.WithCoupling(true),
+//	)
+//
+// An engine offers three assessment paths:
+//
+//   - Engine.Assess — single-shot: measure the three facets of the scenario
+//     as it stands.
+//   - Engine.AssessAll — batch: every user's facets and combined trust,
+//     computed concurrently by a worker pool.
+//   - Engine.Run — drive the §3 coupled dynamics epoch by epoch under a
+//     context.Context.
+//
+// The §4 tradeoff explorer is exposed as Explore, Optimize and
+// EvaluateSetting over the same option-built scenarios.
+//
+// Reputation mechanisms are pluggable through the Mechanism interface; the
+// cited implementations ship as factories (EigenTrust, TrustMe, PowerTrust,
+// AnonRep, NoReputation). The supporting substrates — privacy service and
+// ledger, discrete-event simulator, gossip overlay, graph generators,
+// rendering tables — are re-exported so programs never import
+// repro/internal directly.
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
+package trustnet

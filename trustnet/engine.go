@@ -1,0 +1,143 @@
+package trustnet
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Summary aggregates scenario-level metrics of an engine run.
+type Summary = workload.Summary
+
+// RoundStats summarizes one interaction round.
+type RoundStats = workload.RoundStats
+
+// EpochStats records the coupled system's state after one §3 epoch.
+type EpochStats = core.EpochStats
+
+// Engine is the assembled three-facet trust system: a scenario (population,
+// friendship graph, behaviour mix), a pluggable reputation mechanism, the
+// privacy ledger, and the per-user trust model, driven either round by
+// round (RunRounds) or through the §3 coupling epochs (Run).
+//
+// An Engine is not safe for concurrent mutation; AssessAll is the one
+// method that may be called while no other method is running and itself
+// fans work out over a pool of goroutines.
+type Engine struct {
+	cfg  engineConfig
+	mech Mechanism
+	dyn  *core.Dynamics
+}
+
+// New assembles an engine from the scenario options.
+func New(opts ...Option) (*Engine, error) {
+	cfg, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the full scenario before calling the factory, so a failed
+	// construction never spends a single-use factory (UseMechanism).
+	if err := cfg.wl.Validate(); err != nil {
+		return nil, fmt.Errorf("trustnet: %w", err)
+	}
+	for user := range cfg.userWeights {
+		if user >= cfg.wl.NumPeers {
+			return nil, fmt.Errorf("trustnet: user %d out of range [0,%d)", user, cfg.wl.NumPeers)
+		}
+	}
+	mech, err := cfg.factory(cfg.wl.NumPeers)
+	if err != nil {
+		return nil, fmt.Errorf("trustnet: mechanism factory: %w", err)
+	}
+	if mech == nil {
+		return nil, fmt.Errorf("trustnet: mechanism factory returned nil")
+	}
+	dyn, err := core.NewDynamics(core.DynamicsConfig{
+		Workload:      cfg.wl,
+		Weights:       cfg.weights,
+		Inertia:       cfg.inertia,
+		BaseHonesty:   cfg.baseHonesty,
+		EpochRounds:   cfg.epochRounds,
+		Coupled:       cfg.coupled,
+		ExposureScale: cfg.exposureScale,
+	}, mech)
+	if err != nil {
+		return nil, fmt.Errorf("trustnet: %w", err)
+	}
+	for user, w := range cfg.userWeights {
+		if err := dyn.TrustModel().SetUserWeights(user, w); err != nil {
+			return nil, fmt.Errorf("trustnet: %w", err)
+		}
+	}
+	return &Engine{cfg: cfg, mech: mech, dyn: dyn}, nil
+}
+
+// Peers returns the population size.
+func (e *Engine) Peers() int { return e.cfg.wl.NumPeers }
+
+// Mechanism returns the plugged-in reputation mechanism.
+func (e *Engine) Mechanism() Mechanism { return e.mech }
+
+// Ledger returns the disclosure ledger accounting every information flow
+// of the scenario.
+func (e *Engine) Ledger() *Ledger { return e.dyn.Engine().Ledger() }
+
+// TrustModel returns the per-user trust state.
+func (e *Engine) TrustModel() *TrustModel { return e.dyn.TrustModel() }
+
+// RunRounds executes n interaction rounds without touching the coupling
+// state — the single-mechanism evaluation mode of the §2 experiments.
+func (e *Engine) RunRounds(n int) {
+	e.dyn.Engine().Run(n)
+}
+
+// Epoch runs one §3 coupling epoch: the workload runs, the facets are
+// measured, every user's trust updates, and — when coupling is enabled —
+// trust feeds back into disclosure and honesty for the next epoch.
+func (e *Engine) Epoch() (EpochStats, error) {
+	return e.dyn.Epoch()
+}
+
+// Run drives the coupled dynamics for the given number of epochs,
+// honouring ctx between epochs. It returns the full epoch history
+// recorded so far (including epochs from earlier Run/Epoch calls).
+func (e *Engine) Run(ctx context.Context, epochs int) ([]EpochStats, error) {
+	for i := 0; i < epochs; i++ {
+		if err := ctx.Err(); err != nil {
+			return e.dyn.History(), err
+		}
+		if _, err := e.dyn.Epoch(); err != nil {
+			return e.dyn.History(), err
+		}
+	}
+	return e.dyn.History(), nil
+}
+
+// History returns the recorded coupling epochs.
+func (e *Engine) History() []EpochStats { return e.dyn.History() }
+
+// Summary computes the scenario-level metrics so far.
+func (e *Engine) Summary() Summary { return e.dyn.Engine().Summarize() }
+
+// SharedReports returns how many feedback reports peers actually disclosed
+// to the reputation layer.
+func (e *Engine) SharedReports() int64 { return e.dyn.Engine().Gatherer().Gathered }
+
+// GlobalTrust returns the system-level trust: the mean over users.
+func (e *Engine) GlobalTrust() float64 { return e.dyn.TrustModel().GlobalTrust() }
+
+// SystemTrusted reports whether the q-quantile of user trust reaches the
+// threshold — i.e. at least (1−q) of users trust the system at `threshold`
+// or more.
+func (e *Engine) SystemTrusted(threshold, q float64) bool {
+	return e.dyn.TrustModel().SystemTrusted(threshold, q)
+}
+
+// PrivacyFacets returns each user's ledger-backed privacy facet.
+func (e *Engine) PrivacyFacets() []float64 { return e.dyn.Engine().PrivacyFacets() }
+
+// workloadEngine exposes the underlying engine to the package's own
+// assessment code.
+func (e *Engine) workloadEngine() *workload.Engine { return e.dyn.Engine() }

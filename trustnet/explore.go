@@ -1,0 +1,119 @@
+package trustnet
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Setting is one point in the settable-configuration space of §4 / Fig. 2.
+type Setting = core.Setting
+
+// Point is an evaluated setting: its measured global facets and trust.
+type Point = core.Point
+
+// Constraints are minimum facet levels an application context imposes (§4).
+type Constraints = core.Constraints
+
+// ExploreResult is the outcome of a grid exploration: the full grid, the
+// "Area A" intersection region of Fig. 2 (left), and the best points.
+type ExploreResult = core.ExploreResult
+
+// ErrInfeasible is returned by Optimize when no explored setting meets the
+// constraints.
+var ErrInfeasible = core.ErrInfeasible
+
+// ExploreConfig configures the §4 tradeoff explorer over an option-built
+// scenario.
+type ExploreConfig struct {
+	// Scenario is the engine-option template; its disclosure and trust-gate
+	// settings are overridden per evaluated point, and the scenario's
+	// mechanism factory builds a fresh mechanism for every point. Options
+	// that only apply to a live Engine's coupled dynamics (WithCoupling,
+	// WithEpochRounds, WithInertia, WithBaseHonesty, WithUserWeights) are
+	// rejected: exploration measures settings, not feedback.
+	Scenario []Option
+	// Rounds per evaluation (default 30).
+	Rounds int
+	// Weights combine facets into trust (default: the scenario's weights).
+	Weights Weights
+	// GridSize is the number of points per axis (default 5).
+	GridSize int
+	// Thresholds define Area A membership: a setting belongs to the
+	// intersection area when every measured global facet reaches its
+	// threshold (default 0.5 each).
+	Thresholds Facets
+}
+
+// toCore resolves the option template into the internal explorer config.
+func (cfg ExploreConfig) toCore() (core.ExploreConfig, error) {
+	ec, err := resolveOptions(cfg.Scenario)
+	if err != nil {
+		return core.ExploreConfig{}, err
+	}
+	var dropped []string
+	if ec.coupled {
+		dropped = append(dropped, "WithCoupling")
+	}
+	if ec.epochRounds != 0 {
+		dropped = append(dropped, "WithEpochRounds")
+	}
+	if ec.inertia != 0 {
+		dropped = append(dropped, "WithInertia")
+	}
+	if ec.baseHonesty != 0 {
+		dropped = append(dropped, "WithBaseHonesty")
+	}
+	if len(ec.userWeights) > 0 {
+		dropped = append(dropped, "WithUserWeights")
+	}
+	if len(dropped) > 0 {
+		return core.ExploreConfig{}, fmt.Errorf(
+			"trustnet: explorer scenarios do not support %v; exploration measures settings, not coupled dynamics", dropped)
+	}
+	weights := cfg.Weights
+	if weights == (Weights{}) {
+		weights = ec.weights
+	}
+	return core.ExploreConfig{
+		Base:          ec.wl,
+		Mechanism:     core.MechanismFactory(ec.factory),
+		Rounds:        cfg.Rounds,
+		Weights:       weights,
+		GridSize:      cfg.GridSize,
+		Thresholds:    cfg.Thresholds,
+		ExposureScale: ec.exposureScale,
+	}, nil
+}
+
+// EvaluateSetting measures the global facets and trust of one setting by
+// running a fresh scenario.
+func EvaluateSetting(cfg ExploreConfig, s Setting) (Point, error) {
+	cc, err := cfg.toCore()
+	if err != nil {
+		return Point{}, err
+	}
+	return core.EvaluateSetting(cc, s)
+}
+
+// Explore sweeps the (disclosure, trust-gate) grid and classifies Area A,
+// honouring ctx between grid points.
+func Explore(ctx context.Context, cfg ExploreConfig) (*ExploreResult, error) {
+	cc, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
+	return core.Explore(ctx, cc)
+}
+
+// Optimize finds the maximum-trust setting subject to constraints: a
+// coarse grid pass followed by hill-climbing refinement around the best
+// feasible point, honouring ctx between evaluations.
+func Optimize(ctx context.Context, cfg ExploreConfig, cons Constraints) (Point, error) {
+	cc, err := cfg.toCore()
+	if err != nil {
+		return Point{}, err
+	}
+	return core.Optimize(ctx, cc, cons)
+}

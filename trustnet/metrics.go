@@ -1,0 +1,36 @@
+package trustnet
+
+import (
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// Table renders fixed-width experiment tables.
+type Table = metrics.Table
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return metrics.NewTable(title, headers...)
+}
+
+// Series is a named (x, y) sequence with monotonicity checks.
+type Series = metrics.Series
+
+// Stream accumulates streaming summary statistics (Welford).
+type Stream = metrics.Stream
+
+// RenderSeries prints aligned series against a shared x column.
+func RenderSeries(w io.Writer, title, xName string, series ...*Series) {
+	metrics.RenderSeries(w, title, xName, series...)
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 { return metrics.Mean(xs) }
+
+// Quantile returns the q-quantile by linear interpolation.
+func Quantile(xs []float64, q float64) float64 { return metrics.Quantile(xs, q) }
+
+// KendallTau returns the Kendall rank correlation of two equal-length
+// samples.
+func KendallTau(a, b []float64) float64 { return metrics.KendallTau(a, b) }

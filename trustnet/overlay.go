@@ -1,0 +1,43 @@
+package trustnet
+
+import "repro/internal/overlay"
+
+// NodeID identifies a machine slot in the P2P overlay.
+type NodeID = overlay.NodeID
+
+// OverlayMessage is a message delivered by the overlay network.
+type OverlayMessage = overlay.Message
+
+// OverlayHandler consumes delivered messages.
+type OverlayHandler = overlay.Handler
+
+// OverlayConfig tunes the overlay's latency and loss model.
+type OverlayConfig = overlay.Config
+
+// OverlayNetwork is the simulated P2P message substrate.
+type OverlayNetwork = overlay.Network
+
+// NewOverlayNetwork creates an overlay of n nodes on the simulation clock.
+func NewOverlayNetwork(s *Sim, rng *RNG, n int, cfg OverlayConfig) *OverlayNetwork {
+	return overlay.NewNetwork(s, rng, n, cfg)
+}
+
+// PeerSampler is the gossip-based peer-sampling service: each node keeps a
+// small partial view refreshed by view exchanges.
+type PeerSampler = overlay.PeerSampler
+
+// NewPeerSampler attaches a peer sampler with the given view size.
+func NewPeerSampler(net *OverlayNetwork, viewSize int) *PeerSampler {
+	return overlay.NewPeerSampler(net, viewSize)
+}
+
+// ChurnConfig parameterizes membership churn.
+type ChurnConfig = overlay.ChurnConfig
+
+// Churner drives periodic leaves, rejoins and whitewashing rejoins.
+type Churner = overlay.Churner
+
+// StartChurn schedules churn on the overlay.
+func StartChurn(net *OverlayNetwork, cfg ChurnConfig) (*Churner, error) {
+	return overlay.StartChurn(net, cfg)
+}
