@@ -1,0 +1,54 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/reputation"
+	"repro/internal/workload"
+)
+
+// BenchmarkShardedEpoch measures one coupled epoch — the scatter-gather
+// interaction pipeline plus the facet-measurement barrier — at two
+// population scales, sequential vs sharded. CI converts its output into
+// BENCH_epoch.json so the 1-shard/N-shard perf trajectory is tracked across
+// PRs; on a multi-core runner the N-shard rows should approach a linear
+// speedup of the scatter phase.
+//
+// The mechanism is the no-op baseline so the benchmark isolates the epoch
+// pipeline itself (candidate sampling, selection, satisfaction folds,
+// ledger accounting, gathering, measurement) from any one scoring
+// algorithm's recompute cost.
+func BenchmarkShardedEpoch(b *testing.B) {
+	for _, users := range []int{1000, 10000} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("users=%d/shards=%d", users, shards), func(b *testing.B) {
+				dyn, err := core.NewDynamics(core.DynamicsConfig{
+					Workload: workload.Config{
+						Seed:     1,
+						NumPeers: users,
+						Mix:      benchMix(0.3),
+						// One interaction per user per round keeps the
+						// scatter width proportional to the population.
+						Disclosure:     0.8,
+						RecomputeEvery: 2,
+						Shards:         shards,
+					},
+					Coupled:     true,
+					EpochRounds: 5,
+				}, reputation.NewNone(users))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := dyn.Epoch(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/trustnet"
 )
@@ -39,6 +40,7 @@ func run(args []string, w io.Writer) error {
 		seed       = fs.Uint64("seed", 1, "random seed")
 		ctxName    = fs.String("context", "balanced", "weight context: balanced|privacy|performance|marketplace")
 		coupled    = fs.Bool("coupled", true, "enable the §3 feedback loops")
+		shards     = fs.Int("shards", runtime.GOMAXPROCS(0), "parallel epoch shards (identical results for any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +94,7 @@ func run(args []string, w io.Writer) error {
 		trustnet.WithAppContext(weightCtx),
 		trustnet.WithCoupling(*coupled),
 		trustnet.WithEpochRounds(*rounds),
+		trustnet.WithShards(*shards),
 	)
 	if err != nil {
 		return err

@@ -41,17 +41,18 @@ type Assessment struct {
 //     information), 1 when no ledger is attached.
 func Assess(e *workload.Engine) Assessment {
 	sum := e.Summarize()
-	n := len(e.ConsumerSatisfactions())
 
 	// Separation (AUC) over served peers: good = realized quality >= 0.5.
-	served := make(map[int]bool)
-	for _, i := range e.Network().Interactions() {
-		served[i.Provider] = true
-	}
-	gt := e.Network().GroundTruthQuality()
+	// Ground truth and the served set come from the engine's incremental
+	// accumulators; the AUC is the O(m log m) rank-sum form.
+	gt, served := e.GroundTruth()
+	n := len(gt)
 	scores := e.Mechanism().Scores()
 	var goodScores, badScores []float64
-	for p := range served {
+	for p, ok := range served {
+		if !ok {
+			continue
+		}
 		if gt[p] >= 0.5 {
 			goodScores = append(goodScores, scores[p])
 		} else {
@@ -59,7 +60,7 @@ func Assess(e *workload.Engine) Assessment {
 		}
 	}
 	tau01 := (sum.Tau + 1) / 2
-	separation := auc(goodScores, badScores)
+	separation := metrics.AUC(goodScores, badScores)
 	power := tau01
 	if !math.IsNaN(separation) {
 		power = (tau01 + separation) / 2
@@ -88,26 +89,6 @@ func Assess(e *workload.Engine) Assessment {
 		}
 	}
 	return Assessment{PerUser: per, Power: repFacet, Tau: sum.Tau, Separation: separation, Community: community}
-}
-
-// auc returns the probability a random good peer outranks a random bad one
-// (ties count half). NaN when either class is empty.
-func auc(good, bad []float64) float64 {
-	if len(good) == 0 || len(bad) == 0 {
-		return math.NaN()
-	}
-	wins := 0.0
-	for _, g := range good {
-		for _, b := range bad {
-			switch {
-			case g > b:
-				wins++
-			case g == b:
-				wins += 0.5
-			}
-		}
-	}
-	return wins / float64(len(good)*len(bad))
 }
 
 // GlobalFacets averages an assessment into a single Facets value.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/adversary"
+	"repro/internal/metrics"
 	"repro/internal/privacy"
 	"repro/internal/reputation"
 	"repro/internal/reputation/eigentrust"
@@ -122,16 +123,18 @@ func TestGlobalFacetsEmptyAssessment(t *testing.T) {
 }
 
 func TestAUC(t *testing.T) {
-	if got := auc([]float64{0.9, 0.8}, []float64{0.1, 0.2}); got != 1 {
+	// The separation measure is metrics.AUC since the incremental-facet
+	// refactor; keep pinning the semantics Assess depends on.
+	if got := metrics.AUC([]float64{0.9, 0.8}, []float64{0.1, 0.2}); got != 1 {
 		t.Fatalf("perfect separation auc = %v", got)
 	}
-	if got := auc([]float64{0.1}, []float64{0.9}); got != 0 {
+	if got := metrics.AUC([]float64{0.1}, []float64{0.9}); got != 0 {
 		t.Fatalf("inverted auc = %v", got)
 	}
-	if got := auc([]float64{0.5}, []float64{0.5}); got != 0.5 {
+	if got := metrics.AUC([]float64{0.5}, []float64{0.5}); got != 0.5 {
 		t.Fatalf("tied auc = %v", got)
 	}
-	if !math.IsNaN(auc(nil, []float64{1})) || !math.IsNaN(auc([]float64{1}, nil)) {
+	if !math.IsNaN(metrics.AUC(nil, []float64{1})) || !math.IsNaN(metrics.AUC([]float64{1}, nil)) {
 		t.Fatal("single-class auc not NaN")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/privacy"
 	"repro/internal/reputation"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -159,48 +160,64 @@ func (d *Dynamics) History() []EpochStats {
 	return out
 }
 
-// Epoch runs one coupling epoch and returns its stats.
+// Epoch runs one coupling epoch and returns its stats. The phases between
+// the workload barrier and the history append are sharded over the engine's
+// worker count: trust updates and the coupling feedback write disjoint
+// per-user state, so the fan-out preserves the pipeline's determinism
+// contract (identical results for every shard count).
 func (d *Dynamics) Epoch() (EpochStats, error) {
 	n := d.cfg.Workload.NumPeers
+	shards := d.eng.Shards()
 	// 1. Install this epoch's coupling variables.
 	d.eng.SetDisclosure(d.disclosure)
 	if d.epoch > 0 || d.cfg.Coupled {
 		d.eng.SetHonestOverride(d.honesty)
 	}
 
-	// 2. Run the workload.
-	before := len(d.eng.Network().Interactions())
-	badBefore := badCount(d.eng, before)
+	// 2. Run the workload. The epoch's bad-service delta comes from the
+	// engine's cumulative counters, not a log rescan.
+	before := d.eng.CumulativeStats()
 	d.eng.Run(d.cfg.EpochRounds)
-	after := len(d.eng.Network().Interactions())
-	bad := badCount(d.eng, after) - badBefore
-	interactions := after - before
+	after := d.eng.CumulativeStats()
+	bad := after.BadService - before.BadService
+	interactions := after.Interactions - before.Interactions
 
-	// 3. Measure facets and update trust.
+	// 3. Measure facets and update trust, batched per shard. Each user's
+	// update touches only her own trust cell, so shards never contend.
 	assess := Assess(d.eng)
-	for u := 0; u < n; u++ {
-		if _, err := d.tm.Update(u, assess.PerUser[u]); err != nil {
+	errs := make([]error, n)
+	sim.ForChunks(shards, n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if _, err := d.tm.Update(u, assess.PerUser[u]); err != nil {
+				errs[u] = err
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
 			return EpochStats{}, err
 		}
 	}
 
-	// 4. Close the §3 loops for the next epoch.
+	// 4. Close the §3 loops for the next epoch, sharded the same way.
 	base := d.baseDisclosure
 	if d.cfg.Coupled {
-		for u := 0; u < n; u++ {
-			t := d.tm.Trust(u)
-			// δ_u = δ_base · 2T (clamped): neutral trust keeps the base,
-			// distrust withholds, strong trust discloses up to fully.
-			delta := base * 2 * t
-			if delta > 1 {
-				delta = 1
+		sim.ForChunks(shards, n, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				t := d.tm.Trust(u)
+				// δ_u = δ_base · 2T (clamped): neutral trust keeps the base,
+				// distrust withholds, strong trust discloses up to fully.
+				delta := base * 2 * t
+				if delta > 1 {
+					delta = 1
+				}
+				if delta < 0 {
+					delta = 0
+				}
+				d.disclosure[u] = delta
+				d.honesty[u] = d.cfg.BaseHonesty + (1-d.cfg.BaseHonesty)*t
 			}
-			if delta < 0 {
-				delta = 0
-			}
-			d.disclosure[u] = delta
-			d.honesty[u] = d.cfg.BaseHonesty + (1-d.cfg.BaseHonesty)*t
-		}
+		})
 	} else {
 		for u := 0; u < n; u++ {
 			d.disclosure[u] = base
@@ -236,20 +253,6 @@ func (d *Dynamics) Run(n int) ([]EpochStats, error) {
 		}
 	}
 	return d.History(), nil
-}
-
-func badCount(e *workload.Engine, upto int) int {
-	bad := 0
-	log := e.Network().Interactions()
-	if upto > len(log) {
-		upto = len(log)
-	}
-	for _, i := range log[:upto] {
-		if i.Quality < 0.5 {
-			bad++
-		}
-	}
-	return bad
 }
 
 // MapConfig configures the abstract trust/satisfaction iterated map used to

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/reputation/eigentrust"
+	"repro/internal/workload"
+)
+
+func mixFor(malicious float64) adversary.Mix {
+	return adversary.Mix{Fractions: map[adversary.Class]float64{
+		adversary.Honest:    1 - malicious,
+		adversary.Malicious: malicious,
+	}}
+}
+
+// TestDynamicsShardInvariance extends the pipeline's determinism contract
+// through the epoch barrier: coupled dynamics — facet measurement, batched
+// trust updates and the §3 feedback — produce identical EpochStats for
+// every shard count.
+func TestDynamicsShardInvariance(t *testing.T) {
+	run := func(shards int) []EpochStats {
+		cfg := dynConfig(true, 0.3)
+		cfg.Workload.Shards = shards
+		mech, err := eigentrust.New(eigentrust.Config{N: 40, Pretrusted: []int{0, 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDynamics(cfg, mech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist, err := d.Run(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hist
+	}
+	ref := run(1)
+	for _, k := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		got := run(k)
+		if len(got) != len(ref) {
+			t.Fatalf("shards=%d: %d epochs, want %d", k, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("shards=%d: epoch %d\n%+v\n!=\n%+v", k, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestAssessShardInvariance pins per-user facet measurement across shard
+// counts, ledger included.
+func TestAssessShardInvariance(t *testing.T) {
+	measure := func(shards int) Assessment {
+		mech, err := eigentrust.New(eigentrust.Config{N: 50, Pretrusted: []int{0, 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDynamics(DynamicsConfig{
+			Workload: workload.Config{
+				Seed: 77, NumPeers: 50, Mix: mixFor(0.3),
+				RecomputeEvery: 2, Shards: shards,
+			},
+			Coupled:     true,
+			EpochRounds: 6,
+		}, mech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Run(3); err != nil {
+			t.Fatal(err)
+		}
+		return Assess(d.Engine())
+	}
+	ref := measure(1)
+	got := measure(4)
+	if len(got.PerUser) != len(ref.PerUser) {
+		t.Fatal("per-user length diverged")
+	}
+	for u := range ref.PerUser {
+		if got.PerUser[u] != ref.PerUser[u] {
+			t.Fatalf("user %d facets %+v != %+v", u, got.PerUser[u], ref.PerUser[u])
+		}
+	}
+	if got.Power != ref.Power || got.Tau != ref.Tau ||
+		got.Separation != ref.Separation || got.Community != ref.Community {
+		t.Fatalf("assessment diverged:\n%+v\n%+v", got, ref)
+	}
+}

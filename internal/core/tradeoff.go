@@ -3,6 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/reputation"
 	"repro/internal/workload"
@@ -53,6 +56,11 @@ type ExploreConfig struct {
 	Thresholds Facets
 	// ExposureScale normalizes ledger exposure (default 50).
 	ExposureScale float64
+	// Workers bounds the pool evaluating grid settings concurrently
+	// (default GOMAXPROCS). Every setting runs a fresh scenario via the
+	// mechanism factory, so evaluations are independent; results are folded
+	// in grid order, keeping the outcome identical for every pool size.
+	Workers int
 }
 
 func (c ExploreConfig) withDefaults() (ExploreConfig, error) {
@@ -73,6 +81,9 @@ func (c ExploreConfig) withDefaults() (ExploreConfig, error) {
 	}
 	if c.ExposureScale == 0 {
 		c.ExposureScale = 50
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c, nil
 }
@@ -137,37 +148,95 @@ type ExploreResult struct {
 	AreaFraction float64
 }
 
-// Explore sweeps the (disclosure, trust-gate) grid and classifies Area A,
-// honouring ctx between grid points.
+// evaluateAll measures the given settings concurrently under the config's
+// bounded worker pool and returns the points in input order. Workers stop
+// picking up settings once ctx is cancelled; the first evaluation error (in
+// input order) wins. Each setting builds a fresh scenario from its own
+// factory call, so the results — folded by index — are identical for every
+// pool size.
+func evaluateAll(ctx context.Context, cfg ExploreConfig, settings []Setting) ([]Point, error) {
+	points := make([]Point, len(settings))
+	errs := make([]error, len(settings))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	workers := cfg.Workers
+	if workers > len(settings) {
+		workers = len(settings)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				points[idx], errs[idx] = EvaluateSetting(cfg, settings[idx])
+				if errs[idx] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+feed:
+	for idx := range settings {
+		// Stop dispatching once any evaluation failed: each one runs a
+		// whole fresh scenario, so finishing a doomed sweep is pure waste.
+		if failed.Load() {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			break feed
+		case next <- idx:
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for idx, err := range errs {
+		if err != nil {
+			s := settings[idx]
+			return nil, fmt.Errorf("core: explore (%v,%v): %w", s.Disclosure, s.TrustGate, err)
+		}
+	}
+	return points, nil
+}
+
+// Explore sweeps the (disclosure, trust-gate) grid and classifies Area A.
+// Grid settings are evaluated concurrently (ExploreConfig.Workers bounds
+// the pool); ctx cancels the sweep between evaluations.
 func Explore(ctx context.Context, cfg ExploreConfig) (*ExploreResult, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	res := &ExploreResult{}
 	g := cfg.GridSize
+	settings := make([]Setting, 0, g*g)
 	for i := 0; i < g; i++ {
 		for j := 0; j < g; j++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			s := Setting{
+			settings = append(settings, Setting{
 				Disclosure: float64(i) / float64(g-1),
 				TrustGate:  0.9 * float64(j) / float64(g-1),
-			}
-			p, err := EvaluateSetting(cfg, s)
-			if err != nil {
-				return nil, fmt.Errorf("core: explore (%v,%v): %w", s.Disclosure, s.TrustGate, err)
-			}
-			res.Points = append(res.Points, p)
-			if p.Trust > res.Best.Trust {
-				res.Best = p
-			}
-			if inArea(p.Global, cfg.Thresholds) {
-				res.AreaA = append(res.AreaA, p)
-				if p.Trust > res.BestInAreaA.Trust {
-					res.BestInAreaA = p
-				}
+			})
+		}
+	}
+	points, err := evaluateAll(ctx, cfg, settings)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExploreResult{Points: points}
+	for _, p := range points {
+		if p.Trust > res.Best.Trust {
+			res.Best = p
+		}
+		if inArea(p.Global, cfg.Thresholds) {
+			res.AreaA = append(res.AreaA, p)
+			if p.Trust > res.BestInAreaA.Trust {
+				res.BestInAreaA = p
 			}
 		}
 	}
@@ -220,14 +289,14 @@ func Optimize(ctx context.Context, cfg ExploreConfig, cons Constraints) (Point, 
 	if best.Trust < 0 {
 		return Point{}, ErrInfeasible
 	}
-	// Hill climb with shrinking steps.
+	// Hill climb with shrinking steps. Each iteration evaluates the whole
+	// neighbour batch of the current best concurrently, then folds the
+	// improvements in fixed direction order — deterministic for every pool
+	// size.
 	step := 1.0 / float64(cfg.GridSize-1)
 	for iter := 0; iter < 4; iter++ {
-		improved := false
+		var batch []Setting
 		for _, d := range [][2]float64{{step, 0}, {-step, 0}, {0, step}, {0, -step}} {
-			if err := ctx.Err(); err != nil {
-				return Point{}, err
-			}
 			s := Setting{
 				Disclosure: clampTo(best.Setting.Disclosure+d[0], 0, 1),
 				TrustGate:  clampTo(best.Setting.TrustGate+d[1], 0, 0.9),
@@ -235,10 +304,14 @@ func Optimize(ctx context.Context, cfg ExploreConfig, cons Constraints) (Point, 
 			if s == best.Setting {
 				continue
 			}
-			p, err := EvaluateSetting(cfg, s)
-			if err != nil {
-				return Point{}, err
-			}
+			batch = append(batch, s)
+		}
+		points, err := evaluateAll(ctx, cfg, batch)
+		if err != nil {
+			return Point{}, err
+		}
+		improved := false
+		for _, p := range points {
 			if cons.satisfiedBy(p.Global) && p.Trust > best.Trust {
 				best = p
 				improved = true

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// bruteTau is the quadratic tau-b reference the fast implementation must
+// reproduce exactly (up to float noise).
+func bruteTau(a, b []float64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 0
+	}
+	var concordant, discordant, tiesA, tiesB float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da == 0 && db == 0:
+				tiesA++
+				tiesB++
+			case da == 0:
+				tiesA++
+			case db == 0:
+				tiesB++
+			case da*db > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	n0 := float64(n*(n-1)) / 2
+	denom := math.Sqrt((n0 - tiesA) * (n0 - tiesB))
+	if denom == 0 {
+		return 0
+	}
+	return (concordant - discordant) / denom
+}
+
+func bruteAUC(pos, neg []float64) float64 {
+	if len(pos) == 0 || len(neg) == 0 {
+		return math.NaN()
+	}
+	wins := 0.0
+	for _, g := range pos {
+		for _, b := range neg {
+			switch {
+			case g > b:
+				wins++
+			case g == b:
+				wins += 0.5
+			}
+		}
+	}
+	return wins / float64(len(pos)*len(neg))
+}
+
+// quantized draws values from a small discrete set so ties are frequent.
+func quantized(rng *sim.RNG, n, levels int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(rng.Intn(levels)) / float64(levels)
+	}
+	return out
+}
+
+func TestKendallTauMatchesBruteForce(t *testing.T) {
+	rng := sim.NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(60)
+		levels := 1 + rng.Intn(8) // levels=1 gives an all-tied vector
+		a := quantized(rng, n, levels)
+		b := quantized(rng, n, 1+rng.Intn(8))
+		got, want := KendallTau(a, b), bruteTau(a, b)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d (n=%d): fast tau %v != brute %v\na=%v\nb=%v",
+				trial, n, got, want, a, b)
+		}
+	}
+}
+
+func TestKendallTauKnownValues(t *testing.T) {
+	if got := KendallTau([]float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect agreement tau = %v", got)
+	}
+	if got := KendallTau([]float64{1, 2, 3, 4}, []float64{4, 3, 2, 1}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect disagreement tau = %v", got)
+	}
+	if got := KendallTau([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("all-tied vector tau = %v, want 0", got)
+	}
+	if got := KendallTau([]float64{1}, []float64{1}); got != 0 {
+		t.Fatalf("short input tau = %v, want 0", got)
+	}
+	if got := KendallTau([]float64{1, 2}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("mismatched lengths tau = %v, want 0", got)
+	}
+}
+
+func TestAUCMatchesBruteForce(t *testing.T) {
+	rng := sim.NewRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		pos := quantized(rng, 1+rng.Intn(30), 1+rng.Intn(6))
+		neg := quantized(rng, 1+rng.Intn(30), 1+rng.Intn(6))
+		got, want := AUC(pos, neg), bruteAUC(pos, neg)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: fast AUC %v != brute %v", trial, got, want)
+		}
+	}
+	if !math.IsNaN(AUC(nil, []float64{1})) || !math.IsNaN(AUC([]float64{1}, nil)) {
+		t.Fatal("empty class must yield NaN")
+	}
+	if got := AUC([]float64{1, 1}, []float64{0, 0}); got != 1 {
+		t.Fatalf("separated classes AUC = %v", got)
+	}
+	if got := AUC([]float64{0.5}, []float64{0.5}); got != 0.5 {
+		t.Fatalf("fully tied AUC = %v", got)
+	}
+}

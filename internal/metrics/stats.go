@@ -126,39 +126,133 @@ func Mean(xs []float64) float64 {
 //
 // The experiment harness uses it as the "reputation power / consistency with
 // reality" metric of the paper's Figure 2: correlation between mechanism
-// scores and ground-truth peer behaviour.
+// scores and ground-truth peer behaviour. Facet measurement runs it every
+// epoch, so it uses Knight's O(n log n) algorithm (sort by the first vector,
+// then count discordant pairs as merge-sort inversions of the second)
+// rather than the quadratic pair scan.
 func KendallTau(a, b []float64) float64 {
 	n := len(a)
 	if n != len(b) || n < 2 {
 		return 0
 	}
-	var concordant, discordant float64
-	var tiesA, tiesB float64
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			da := a[i] - a[j]
-			db := b[i] - b[j]
-			switch {
-			case da == 0 && db == 0:
-				tiesA++
-				tiesB++
-			case da == 0:
-				tiesA++
-			case db == 0:
-				tiesB++
-			case da*db > 0:
-				concordant++
-			default:
-				discordant++
-			}
-		}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
 	}
-	n0 := float64(n*(n-1)) / 2
-	denom := math.Sqrt((n0 - tiesA) * (n0 - tiesB))
+	sort.Slice(idx, func(x, y int) bool {
+		i, j := idx[x], idx[y]
+		if a[i] != a[j] {
+			return a[i] < a[j]
+		}
+		return b[i] < b[j]
+	})
+	// Tied-pair counts: n1 over groups tied in a, n2 over groups tied in b,
+	// n3 over groups tied in both.
+	pairs := func(t float64) float64 { return t * (t - 1) / 2 }
+	var n1, n3 float64
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && a[idx[hi]] == a[idx[lo]] {
+			hi++
+		}
+		n1 += pairs(float64(hi - lo))
+		for jlo := lo; jlo < hi; {
+			jhi := jlo + 1
+			for jhi < n && a[idx[jhi]] == a[idx[jlo]] && b[idx[jhi]] == b[idx[jlo]] {
+				jhi++
+			}
+			n3 += pairs(float64(jhi - jlo))
+			jlo = jhi
+		}
+		lo = hi
+	}
+	bs := make([]float64, n)
+	for i, id := range idx {
+		bs[i] = b[id]
+	}
+	discordant := float64(countInversions(bs, make([]float64, n)))
+	sort.Float64s(bs)
+	var n2 float64
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && bs[hi] == bs[lo] {
+			hi++
+		}
+		n2 += pairs(float64(hi - lo))
+		lo = hi
+	}
+	n0 := float64(n) * float64(n-1) / 2
+	denom := math.Sqrt((n0 - n1) * (n0 - n2))
 	if denom == 0 {
 		return 0
 	}
-	return (concordant - discordant) / denom
+	// concordant - discordant = n0 - n1 - n2 + n3 - 2*discordant.
+	return (n0 - n1 - n2 + n3 - 2*discordant) / denom
+}
+
+// countInversions merge-sorts xs in place and returns the number of strict
+// inversions (i < j with xs[i] > xs[j]); tmp is scratch of equal length.
+func countInversions(xs, tmp []float64) int64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := countInversions(xs[:mid], tmp[:mid]) + countInversions(xs[mid:], tmp[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if xs[i] <= xs[j] {
+			tmp[k] = xs[i]
+			i++
+		} else {
+			tmp[k] = xs[j]
+			inv += int64(mid - i)
+			j++
+		}
+		k++
+	}
+	copy(tmp[k:], xs[i:mid])
+	copy(xs, tmp[:k+mid-i])
+	return inv
+}
+
+// AUC returns the probability that a uniformly chosen positive outranks a
+// uniformly chosen negative (ties count half) — the Mann–Whitney form of
+// the ROC area, computed in O(m log m) by rank-summing rather than the
+// quadratic pair scan. It returns NaN when either class is empty.
+func AUC(pos, neg []float64) float64 {
+	if len(pos) == 0 || len(neg) == 0 {
+		return math.NaN()
+	}
+	type obs struct {
+		v   float64
+		pos bool
+	}
+	all := make([]obs, 0, len(pos)+len(neg))
+	for _, v := range pos {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range neg {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Sum average ranks (1-based) of the positives, ties sharing a rank.
+	rankSum := 0.0
+	for lo := 0; lo < len(all); {
+		hi := lo + 1
+		for hi < len(all) && all[hi].v == all[lo].v {
+			hi++
+		}
+		avg := float64(lo+1+hi) / 2 // mean of ranks lo+1 .. hi
+		for i := lo; i < hi; i++ {
+			if all[i].pos {
+				rankSum += avg
+			}
+		}
+		lo = hi
+	}
+	np, nn := float64(len(pos)), float64(len(neg))
+	return (rankSum - np*(np+1)/2) / (np * nn)
 }
 
 // Pearson returns the Pearson linear correlation of two equal-length vectors

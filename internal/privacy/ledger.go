@@ -24,19 +24,34 @@ type Disclosure struct {
 
 // Ledger is the accountability record (OECD accountability + openness): it
 // stores every disclosure and answers the exposure queries that feed the
-// privacy facet.
+// privacy facet. Per-owner aggregates (recipient sets, item sensitivities,
+// consent tallies) are maintained incrementally on Record, so the per-user
+// facet queries run by every epoch's measurement barrier touch only the
+// owner's own state instead of rescanning the whole event list — and are
+// therefore safe to fan out read-only over measurement shards.
 type Ledger struct {
 	events []Disclosure
 	// byOwner[owner][item] -> set of recipients
 	byOwner map[int]map[string]map[int]bool
+	// sensByOwner[owner][item] -> max sensitivity weight seen for the item
+	sensByOwner map[int]map[string]float64
+	// consent[owner] -> (total, consented) disclosure tallies
+	consent map[int]consentTally
 }
+
+type consentTally struct{ total, ok int64 }
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
-	return &Ledger{byOwner: make(map[int]map[string]map[int]bool)}
+	return &Ledger{
+		byOwner:     make(map[int]map[string]map[int]bool),
+		sensByOwner: make(map[int]map[string]float64),
+		consent:     make(map[int]consentTally),
+	}
 }
 
-// Record appends a disclosure event.
+// Record appends a disclosure event and folds it into the per-owner
+// aggregates.
 func (l *Ledger) Record(d Disclosure) {
 	l.events = append(l.events, d)
 	items := l.byOwner[d.Owner]
@@ -50,6 +65,20 @@ func (l *Ledger) Record(d Disclosure) {
 		items[d.Item] = recips
 	}
 	recips[d.Recipient] = true
+	sens := l.sensByOwner[d.Owner]
+	if sens == nil {
+		sens = make(map[string]float64)
+		l.sensByOwner[d.Owner] = sens
+	}
+	if w := SensitivityWeight(d.Sensitivity); w > sens[d.Item] {
+		sens[d.Item] = w
+	}
+	t := l.consent[d.Owner]
+	t.total++
+	if d.Consented {
+		t.ok++
+	}
+	l.consent[d.Owner] = t
 }
 
 // Events returns all recorded events (shared; read-only).
@@ -91,17 +120,9 @@ func (l *Ledger) Exposure(owner int) float64 {
 	if len(items) == 0 {
 		return 0
 	}
-	// Sensitivity per item comes from the recorded events; use the maximum
-	// seen for that item.
-	sens := make(map[string]float64)
-	for _, e := range l.events {
-		if e.Owner != owner {
-			continue
-		}
-		if w := SensitivityWeight(e.Sensitivity); w > sens[e.Item] {
-			sens[e.Item] = w
-		}
-	}
+	// Sensitivity per item is the maximum seen in the recorded events,
+	// maintained incrementally by Record.
+	sens := l.sensByOwner[owner]
 	keys := make([]string, 0, len(items))
 	for k := range items {
 		keys = append(keys, k)
@@ -128,20 +149,11 @@ func (l *Ledger) NormalizedExposure(owner int, scale float64) float64 {
 // consented (1 when there are none): the "policy respect" half of the
 // privacy facet.
 func (l *Ledger) RespectRate(owner int) float64 {
-	total, ok := 0, 0
-	for _, e := range l.events {
-		if e.Owner != owner {
-			continue
-		}
-		total++
-		if e.Consented {
-			ok++
-		}
-	}
-	if total == 0 {
+	t := l.consent[owner]
+	if t.total == 0 {
 		return 1
 	}
-	return float64(ok) / float64(total)
+	return float64(t.ok) / float64(t.total)
 }
 
 // PrivacyFacet computes owner's privacy satisfaction P_u as the paper's

@@ -1,0 +1,38 @@
+package sim
+
+import "sync"
+
+// ForChunks splits the index range [0, n) into at most `workers` contiguous
+// chunks and runs fn(lo, hi) over each. With workers <= 1 (or a degenerate
+// range) it runs inline on the caller's goroutine; otherwise each chunk runs
+// on its own goroutine and ForChunks blocks until all complete.
+//
+// It is the scatter primitive of the sharded epoch pipeline: callers must
+// ensure fn writes only to per-index state (out[i] for i in [lo, hi)), so
+// the result is identical for every worker count.
+func ForChunks(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

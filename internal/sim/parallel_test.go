@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForChunksCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		n := 23
+		hits := make([]int32, n)
+		ForChunks(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForChunksEmptyRange(t *testing.T) {
+	called := false
+	ForChunks(4, 0, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForChunksDeterministicPerIndexWrites(t *testing.T) {
+	n := 100
+	ref := make([]int, n)
+	ForChunks(1, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ref[i] = i * i
+		}
+	})
+	for _, workers := range []int{2, 5, 16} {
+		out := make([]int, n)
+		ForChunks(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = i * i
+			}
+		})
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d diverged at %d", workers, i)
+			}
+		}
+	}
+}

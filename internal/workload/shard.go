@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"repro/internal/privacy"
+	"repro/internal/reputation"
+	"repro/internal/sim"
+	"repro/internal/social"
+)
+
+// The sharded round pipeline.
+//
+// A round is executed in three phases so that interaction simulation can run
+// on K parallel shards while every observable result stays bit-for-bit
+// identical for every K:
+//
+//  1. plan (sequential): the main RNG stream draws each interaction's
+//     consumer and splits off a private per-interaction stream. The split
+//     sequence depends only on the interaction index, never on shard
+//     boundaries.
+//  2. scatter (parallel): shards own contiguous chunks of the interaction
+//     index range and simulate each interaction — candidate sampling,
+//     gating, provider selection, service and rating draws — using only the
+//     interaction's private stream and state that is immutable for the
+//     round (scores, graph, behaviours, honesty override).
+//  3. gather (sequential): results merge into the shared mutable state
+//     (interaction log, satisfaction EMAs, disclosure ledger, gatherer →
+//     mechanism) in interaction-index order, so transaction ids, EMA folds
+//     and the gatherer's disclosure draws are canonical.
+
+// interactionPlan is one scheduled request: the consumer plus the private
+// RNG stream its simulation will consume.
+type interactionPlan struct {
+	consumer int
+	rng      sim.RNG
+}
+
+// interactionResult is the outcome of simulating one planned interaction
+// against the round-immutable state.
+type interactionResult struct {
+	consumer   int
+	provider   int // -1 when no provider was found
+	gateFailed bool
+	candidates []int
+	refused    bool
+	quality    float64
+	rating     float64
+	honest     bool
+}
+
+// planRound draws the round's interaction schedule from the main stream.
+func (e *Engine) planRound() []interactionPlan {
+	plans := make([]interactionPlan, e.cfg.InteractionsPerRound)
+	for k := range plans {
+		var consumer int
+		if e.activity != nil {
+			consumer = e.activityOrder[e.activity.Next()]
+		} else {
+			consumer = e.rng.Intn(e.cfg.NumPeers)
+		}
+		plans[k] = interactionPlan{consumer: consumer, rng: *e.rng.Split()}
+	}
+	return plans
+}
+
+// scatter simulates every planned interaction, fanning the index range out
+// over the engine's shards.
+func (e *Engine) scatter(plans []interactionPlan, scores []float64, gate float64) []interactionResult {
+	results := make([]interactionResult, len(plans))
+	sim.ForChunks(e.shards, len(plans), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			results[k] = e.simulate(&plans[k], scores, gate)
+		}
+	})
+	return results
+}
+
+// simulate runs one interaction against round-immutable state. It must not
+// touch any state shared across interactions: all randomness comes from the
+// plan's private stream, and every mutation is deferred to gather.
+func (e *Engine) simulate(p *interactionPlan, scores []float64, gate float64) interactionResult {
+	rng := &p.rng
+	r := interactionResult{consumer: p.consumer, provider: -1}
+	candidates := e.sampleCandidates(rng, p.consumer)
+	if gate >= 0 {
+		eligible := candidates[:0]
+		for _, c := range candidates {
+			if scores[c] >= gate {
+				eligible = append(eligible, c)
+			}
+		}
+		if len(eligible) == 0 {
+			r.gateFailed = true
+			return r
+		}
+		candidates = eligible
+	}
+	r.candidates = candidates
+	var provider int
+	switch e.cfg.Selection {
+	case SelectProportional:
+		provider = reputation.SelectProportional(rng, scores, candidates)
+	default:
+		provider = reputation.SelectBest(rng, scores, candidates)
+	}
+	if provider < 0 {
+		return r
+	}
+	r.provider = provider
+	pu := e.snet.User(provider)
+	if !pu.Behavior.Serves(rng) {
+		r.refused = true
+		r.honest = true
+		return r
+	}
+	r.quality = pu.Behavior.ServiceQuality(rng, e.round)
+	r.rating, r.honest = e.rate(rng, e.snet.User(p.consumer), p.consumer, provider, r.quality)
+	return r
+}
+
+// gather merges the shard results into the shared state in canonical
+// (interaction-index) order.
+func (e *Engine) gather(results []interactionResult, st *RoundStats) {
+	for k := range results {
+		r := &results[k]
+		if r.gateFailed {
+			e.GateFailures++
+			e.consumers[r.consumer].ObserveFailure()
+			continue
+		}
+		if r.provider < 0 {
+			e.consumers[r.consumer].ObserveFailure()
+			continue
+		}
+		st.Interactions++
+		tx := e.snet.NextTxID()
+
+		// The provider judges the (possibly imposed) request against its
+		// own intentions.
+		e.providers[r.provider].Observe(r.consumer)
+
+		if r.refused {
+			st.BadService++
+			st.Refused++
+			e.snet.Record(social.Interaction{
+				ID: tx, Consumer: r.consumer, Provider: r.provider,
+				Quality: 0, Outcome: social.Refused, Rating: 0, HonestRating: true,
+			})
+			e.recordServed(r.provider, 0)
+			e.consumers[r.consumer].ObserveQuality(r.provider, r.candidates, 0)
+			e.consumers[r.consumer].UpdatePreference(r.provider, 0)
+			e.offerReport(tx, r.consumer, r.provider, 0)
+			continue
+		}
+
+		// The consumer judges the allocation against its intentions and the
+		// quality it actually received.
+		e.consumers[r.consumer].ObserveQuality(r.provider, r.candidates, r.quality)
+		outcome := social.Good
+		if r.quality < 0.5 {
+			outcome = social.Bad
+			st.BadService++
+		}
+		e.snet.Record(social.Interaction{
+			ID: tx, Consumer: r.consumer, Provider: r.provider,
+			Quality: r.quality, Outcome: outcome, Rating: r.rating, HonestRating: r.honest,
+		})
+		e.recordServed(r.provider, r.quality)
+		e.consumers[r.consumer].UpdatePreference(r.provider, r.quality)
+		if e.ledger != nil {
+			// Interacting discloses the consumer's profile to the provider.
+			e.ledger.Record(privacy.Disclosure{
+				Owner:       r.consumer,
+				Item:        e.profileItem[r.consumer],
+				Sensitivity: social.Medium,
+				Recipient:   r.provider,
+				Purpose:     privacy.SocialUse,
+				Consented:   true,
+			})
+		}
+		e.offerReport(tx, r.consumer, r.provider, r.rating)
+	}
+}
+
+// recordServed folds one served (or refused, quality 0) interaction into the
+// incremental ground-truth accumulators, sparing facet measurement a full
+// log rescan.
+func (e *Engine) recordServed(provider int, quality float64) {
+	e.servedCount[provider]++
+	e.qualSum[provider] += quality
+}

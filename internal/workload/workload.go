@@ -82,6 +82,11 @@ type Config struct {
 	// Which peers are the active ones is decorrelated from peer ids by a
 	// seeded permutation.
 	ActivitySkew float64
+	// Shards is the number of parallel worker shards the round pipeline
+	// scatters interaction simulation over (default 1 = run inline).
+	// Results are bit-for-bit identical for every shard count: shards are
+	// a scheduling decomposition, not a semantic one — see shard.go.
+	Shards int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -126,6 +131,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.ActivitySkew < 0 {
 		return c, fmt.Errorf("workload: negative activity skew %v", c.ActivitySkew)
+	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("workload: negative shard count %d", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	return c, nil
 }
@@ -204,6 +215,16 @@ type Engine struct {
 	// through activityOrder.
 	activity      *sim.Zipf
 	activityOrder []int
+	// shards is the worker count of the scatter phase (>= 1); see shard.go.
+	shards int
+	// profileItem caches each user's ledger item name so the gather phase
+	// does not re-format it on every interaction.
+	profileItem []string
+	// servedCount/qualSum accumulate each provider's realized service
+	// incrementally (refusals as quality 0), so ground truth and the served
+	// set never require rescanning the interaction log.
+	servedCount []int
+	qualSum     []float64
 }
 
 // NewEngine assembles a scenario around the provided mechanism (which must
@@ -248,11 +269,18 @@ func NewEngine(cfg Config, mech reputation.Mechanism) (*Engine, error) {
 		return nil, fmt.Errorf("workload: %w", err)
 	}
 	e := &Engine{
-		cfg:     cfg,
-		rng:     rng,
-		snet:    snet,
-		mech:    mech,
-		classes: classes,
+		cfg:         cfg,
+		rng:         rng,
+		snet:        snet,
+		mech:        mech,
+		classes:     classes,
+		shards:      cfg.Shards,
+		servedCount: make([]int, cfg.NumPeers),
+		qualSum:     make([]float64, cfg.NumPeers),
+		profileItem: make([]string, cfg.NumPeers),
+	}
+	for i := range e.profileItem {
+		e.profileItem[i] = "profile/" + strconv.Itoa(i)
 	}
 	for id, c := range classes {
 		if c == adversary.Colluder {
@@ -341,19 +369,29 @@ func (e *Engine) Ledger() *privacy.Ledger { return e.ledger }
 
 // PrivacyFacets returns each user's privacy facet from the attached ledger
 // (all ones when no ledger is attached: nothing was accounted as disclosed).
+// The per-user ledger queries are read-only, so they fan out over the
+// engine's shards.
 func (e *Engine) PrivacyFacets() []float64 {
 	out := make([]float64, e.cfg.NumPeers)
-	for i := range out {
-		if e.ledger == nil {
+	if e.ledger == nil {
+		for i := range out {
 			out[i] = 1
-			continue
 		}
-		out[i] = e.ledger.PrivacyFacet(i, e.ledgerScale)
+		return out
 	}
+	sim.ForChunks(e.shards, len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = e.ledger.PrivacyFacet(i, e.ledgerScale)
+		}
+	})
 	return out
 }
 
-// Round executes one interaction round.
+// Round executes one interaction round through the sharded scatter-gather
+// pipeline (see shard.go): the schedule is planned on the main stream,
+// interactions are simulated in parallel over the engine's shards, and the
+// results merge into the shared state in canonical order. Equal seeds give
+// identical rounds for every shard count.
 func (e *Engine) Round() RoundStats {
 	cfg := e.cfg
 	st := RoundStats{Round: e.round}
@@ -362,42 +400,9 @@ func (e *Engine) Round() RoundStats {
 	if cfg.TrustGate > 0 {
 		gate = metrics.Quantile(scores, cfg.TrustGate)
 	}
-	for k := 0; k < cfg.InteractionsPerRound; k++ {
-		var consumer int
-		if e.activity != nil {
-			consumer = e.activityOrder[e.activity.Next()]
-		} else {
-			consumer = e.rng.Intn(cfg.NumPeers)
-		}
-		candidates := e.sampleCandidates(consumer)
-		if gate >= 0 {
-			eligible := candidates[:0]
-			for _, c := range candidates {
-				if scores[c] >= gate {
-					eligible = append(eligible, c)
-				}
-			}
-			if len(eligible) == 0 {
-				e.GateFailures++
-				e.consumers[consumer].ObserveFailure()
-				continue
-			}
-			candidates = eligible
-		}
-		var provider int
-		switch cfg.Selection {
-		case SelectProportional:
-			provider = reputation.SelectProportional(e.rng, scores, candidates)
-		default:
-			provider = reputation.SelectBest(e.rng, scores, candidates)
-		}
-		if provider < 0 {
-			e.consumers[consumer].ObserveFailure()
-			continue
-		}
-		st.Interactions++
-		e.interact(consumer, provider, candidates, &st)
-	}
+	plans := e.planRound()
+	results := e.scatter(plans, scores, gate)
+	e.gather(results, &st)
 	// Malicious collective: each colluder fabricates one satisfied
 	// transaction about another clique member per round.
 	if len(e.colluders) > 1 {
@@ -421,66 +426,17 @@ func (e *Engine) Round() RoundStats {
 	return st
 }
 
-func (e *Engine) interact(consumer, provider int, candidates []int, st *RoundStats) {
-	pu := e.snet.User(provider)
-	cu := e.snet.User(consumer)
-	tx := e.snet.NextTxID()
-
-	// The provider judges the (possibly imposed) request against its own
-	// intentions.
-	e.providers[provider].Observe(consumer)
-
-	if !pu.Behavior.Serves(e.rng) {
-		st.BadService++
-		st.Refused++
-		e.snet.Record(social.Interaction{
-			ID: tx, Consumer: consumer, Provider: provider,
-			Quality: 0, Outcome: social.Refused, Rating: 0, HonestRating: true,
-		})
-		e.consumers[consumer].ObserveQuality(provider, candidates, 0)
-		e.consumers[consumer].UpdatePreference(provider, 0)
-		e.offerReport(tx, consumer, provider, 0)
-		return
-	}
-	quality := pu.Behavior.ServiceQuality(e.rng, e.round)
-	// The consumer judges the allocation against its intentions and the
-	// quality it actually received.
-	e.consumers[consumer].ObserveQuality(provider, candidates, quality)
-	outcome := social.Good
-	if quality < 0.5 {
-		outcome = social.Bad
-		st.BadService++
-	}
-	rating, honest := e.rate(cu, consumer, provider, quality)
-	e.snet.Record(social.Interaction{
-		ID: tx, Consumer: consumer, Provider: provider,
-		Quality: quality, Outcome: outcome, Rating: rating, HonestRating: honest,
-	})
-	e.consumers[consumer].UpdatePreference(provider, quality)
-	if e.ledger != nil {
-		// Interacting discloses the consumer's profile to the provider.
-		e.ledger.Record(privacy.Disclosure{
-			Owner:       consumer,
-			Item:        "profile/" + strconv.Itoa(consumer),
-			Sensitivity: social.Medium,
-			Recipient:   provider,
-			Purpose:     privacy.SocialUse,
-			Consented:   true,
-		})
-	}
-	e.offerReport(tx, consumer, provider, rating)
-}
-
 // rate computes the consumer's reported rating, honouring the honesty
-// override when installed.
-func (e *Engine) rate(cu *social.User, consumer, provider int, quality float64) (float64, bool) {
+// override when installed. It draws only from the supplied stream so it is
+// safe in the scatter phase.
+func (e *Engine) rate(rng *sim.RNG, cu *social.User, consumer, provider int, quality float64) (float64, bool) {
 	if e.honestOverride != nil {
-		if e.rng.Bool(e.honestOverride[consumer]) {
+		if rng.Bool(e.honestOverride[consumer]) {
 			return quality, true
 		}
 		return 1 - quality, false
 	}
-	return cu.Behavior.Rate(e.rng, provider, quality), cu.Behavior.Honest(provider)
+	return cu.Behavior.Rate(rng, provider, quality), cu.Behavior.Honest(provider)
 }
 
 func (e *Engine) offerReport(tx uint64, rater, ratee int, value float64) {
@@ -505,28 +461,37 @@ func (e *Engine) offerReport(tx uint64, rater, ratee int, value float64) {
 }
 
 // sampleCandidates picks the candidate provider set for a consumer: its
-// friends first (social locality), padded with uniform strangers.
-func (e *Engine) sampleCandidates(consumer int) []int {
+// friends first (social locality), padded with uniform strangers. It draws
+// only from the supplied stream so it is safe in the scatter phase.
+func (e *Engine) sampleCandidates(rng *sim.RNG, consumer int) []int {
 	cfg := e.cfg
 	out := make([]int, 0, cfg.CandidateSize)
-	seen := map[int]bool{consumer: true}
+	// Candidate sets are tiny (default 5), so a linear membership scan
+	// beats allocating a map in this per-interaction hot path.
+	seen := func(p int) bool {
+		if p == consumer {
+			return true
+		}
+		for _, q := range out {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
 	friends := e.snet.Friends().Neighbors(consumer)
 	if len(friends) > 0 {
-		for _, idx := range e.rng.Perm(len(friends)) {
+		for _, idx := range rng.Perm(len(friends)) {
 			if len(out) >= cfg.CandidateSize/2+1 {
 				break
 			}
-			f := friends[idx]
-			if !seen[f] {
-				seen[f] = true
+			if f := friends[idx]; !seen(f) {
 				out = append(out, f)
 			}
 		}
 	}
 	for guard := 0; len(out) < cfg.CandidateSize && guard < cfg.NumPeers*4; guard++ {
-		p := e.rng.Intn(cfg.NumPeers)
-		if !seen[p] {
-			seen[p] = true
+		if p := rng.Intn(cfg.NumPeers); !seen(p) {
 			out = append(out, p)
 		}
 	}
@@ -578,17 +543,13 @@ func (e *Engine) Summarize() Summary {
 	s.RecentBadRate = recent.BadRate()
 	// Reputation power = rank agreement between scores and realized
 	// behaviour, over peers that actually served (others have no ground
-	// truth to be consistent with).
-	served := make([]bool, e.cfg.NumPeers)
-	for _, i := range e.snet.Interactions() {
-		served[i.Provider] = true
-	}
-	gt := e.snet.GroundTruthQuality()
+	// truth to be consistent with). The served set and ground truth come
+	// from the incremental per-provider accumulators, not a log rescan.
 	scores := e.mech.Scores()
 	var gtServed, scServed []float64
-	for p, ok := range served {
-		if ok {
-			gtServed = append(gtServed, gt[p])
+	for p, cnt := range e.servedCount {
+		if cnt > 0 {
+			gtServed = append(gtServed, e.qualSum[p]/float64(cnt))
 			scServed = append(scServed, scores[p])
 		}
 	}
@@ -607,6 +568,44 @@ func (e *Engine) Summarize() Summary {
 	return s
 }
 
+// GroundTruth returns, from the incremental accumulators, each provider's
+// realized mean quality (1 for providers who never served, matching
+// social.Network.GroundTruthQuality) and whether it ever served.
+func (e *Engine) GroundTruth() (gt []float64, served []bool) {
+	gt = make([]float64, e.cfg.NumPeers)
+	served = make([]bool, e.cfg.NumPeers)
+	for p, cnt := range e.servedCount {
+		if cnt == 0 {
+			gt[p] = 1
+			continue
+		}
+		served[p] = true
+		gt[p] = e.qualSum[p] / float64(cnt)
+	}
+	return gt, served
+}
+
+// CumulativeStats returns the accumulated round totals so far (Round field
+// holds the number of completed rounds).
+func (e *Engine) CumulativeStats() RoundStats {
+	st := e.cumulative
+	st.Round = e.round
+	return st
+}
+
+// Shards returns the scatter-phase worker count.
+func (e *Engine) Shards() int { return e.shards }
+
+// SetShards changes the scatter-phase worker count (values < 1 are clamped
+// to 1). Because shards are purely a scheduling decomposition, changing the
+// count mid-run does not perturb results.
+func (e *Engine) SetShards(k int) {
+	if k < 1 {
+		k = 1
+	}
+	e.shards = k
+}
+
 // ConsumerSatisfactions returns each consumer's long-run satisfaction.
 func (e *Engine) ConsumerSatisfactions() []float64 {
 	out := make([]float64, len(e.consumers))
@@ -623,11 +622,4 @@ func (e *Engine) ProviderSatisfactions() []float64 {
 		out[i] = p.Satisfaction()
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -107,7 +107,7 @@ func TestTauPositiveWithHonestMajority(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Run(80)
+	e.Run(120)
 	s := e.Summarize()
 	if s.Tau < 0.25 {
 		t.Fatalf("reputation/ground-truth tau = %v, want meaningful positive", s.Tau)

@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout. CI uses it to turn the sharded-epoch benchmark into
+// BENCH_epoch.json, the artifact that tracks the 1-shard vs N-shard perf
+// trajectory across PRs.
+//
+//	go test -run '^$' -bench BenchmarkShardedEpoch . | go run ./tools/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// benchLine matches e.g.
+// BenchmarkShardedEpoch/users=1000/shards=4-8  12  98765432 ns/op  1234 B/op  56 allocs/op
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+// shardCase extracts the users/shards axes from a sub-benchmark name.
+var shardCase = regexp.MustCompile(`users=(\d+)/shards=(\d+)`)
+
+type result struct {
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+type output struct {
+	Benchmarks map[string]result `json:"benchmarks"`
+	// Speedup is ns/op(shards=1) / ns/op(shards=K) per population size and
+	// K > 1 — the headline number the acceptance bar tracks.
+	Speedup map[string]float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	out := output{Benchmarks: map[string]result{}}
+	nsByCase := map[string]map[int]float64{} // users= -> shards -> ns/op
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		out.Benchmarks[m[1]] = result{Iterations: iters, NsPerOp: ns}
+		if c := shardCase.FindStringSubmatch(m[1]); c != nil {
+			shards, _ := strconv.Atoi(c[2])
+			key := "users=" + c[1]
+			if nsByCase[key] == nil {
+				nsByCase[key] = map[int]float64{}
+			}
+			nsByCase[key][shards] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for key, byShards := range nsByCase {
+		base, ok := byShards[1]
+		if !ok || base == 0 {
+			continue
+		}
+		for shards, ns := range byShards {
+			if shards == 1 || ns == 0 {
+				continue
+			}
+			if out.Speedup == nil {
+				out.Speedup = map[string]float64{}
+			}
+			out.Speedup[fmt.Sprintf("%s/shards=%d", key, shards)] = base / ns
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -84,6 +84,7 @@ func (cfg ExploreConfig) toCore() (core.ExploreConfig, error) {
 		GridSize:      cfg.GridSize,
 		Thresholds:    cfg.Thresholds,
 		ExposureScale: ec.exposureScale,
+		Workers:       ec.workers,
 	}, nil
 }
 
@@ -97,8 +98,12 @@ func EvaluateSetting(cfg ExploreConfig, s Setting) (Point, error) {
 	return core.EvaluateSetting(cc, s)
 }
 
-// Explore sweeps the (disclosure, trust-gate) grid and classifies Area A,
-// honouring ctx between grid points.
+// Explore sweeps the (disclosure, trust-gate) grid and classifies Area A.
+// Grid settings are evaluated concurrently under a bounded worker pool
+// (WithWorkers in the scenario template caps it; default GOMAXPROCS) — each
+// point builds a fresh mechanism via the factory, and results fold in grid
+// order so the outcome is identical for every pool size. ctx cancels the
+// sweep between evaluations.
 func Explore(ctx context.Context, cfg ExploreConfig) (*ExploreResult, error) {
 	cc, err := cfg.toCore()
 	if err != nil {
@@ -108,8 +113,9 @@ func Explore(ctx context.Context, cfg ExploreConfig) (*ExploreResult, error) {
 }
 
 // Optimize finds the maximum-trust setting subject to constraints: a
-// coarse grid pass followed by hill-climbing refinement around the best
-// feasible point, honouring ctx between evaluations.
+// coarse concurrent grid pass followed by hill-climbing refinement around
+// the best feasible point (each neighbour batch also evaluated
+// concurrently), honouring ctx between evaluations.
 func Optimize(ctx context.Context, cfg ExploreConfig, cons Constraints) (Point, error) {
 	cc, err := cfg.toCore()
 	if err != nil {

@@ -345,7 +345,8 @@ func WithActivitySkew(s float64) Option {
 	}
 }
 
-// WithWorkers caps the AssessAll worker pool (default: GOMAXPROCS).
+// WithWorkers caps the engine's worker pools (default: GOMAXPROCS): the
+// AssessAll fan-out and the explorer's concurrent grid evaluation.
 func WithWorkers(n int) Option {
 	return func(c *engineConfig) {
 		if n < 0 {
@@ -353,5 +354,35 @@ func WithWorkers(n int) Option {
 			return
 		}
 		c.workers = n
+	}
+}
+
+// WithShards sets the number of parallel shards the epoch pipeline scatters
+// interaction simulation and facet measurement over (default 1; use
+// runtime.GOMAXPROCS(0) to saturate the machine). Shards are a scheduling
+// decomposition, not a semantic one: every observable result — epoch
+// history, summaries, explorer output — is bit-for-bit identical for every
+// shard count under the same seed, so parallelism can be tuned per
+// deployment without re-baselining experiments.
+func WithShards(k int) Option {
+	return func(c *engineConfig) {
+		if k < 1 {
+			c.fail(fmt.Errorf("trustnet: shard count must be >= 1, got %d", k))
+			return
+		}
+		c.wl.Shards = k
+	}
+}
+
+// WithParallelism is WithShards with the worker pools matched to it: one
+// option to scale a scenario onto k cores.
+func WithParallelism(k int) Option {
+	return func(c *engineConfig) {
+		if k < 1 {
+			c.fail(fmt.Errorf("trustnet: parallelism must be >= 1, got %d", k))
+			return
+		}
+		c.wl.Shards = k
+		c.workers = k
 	}
 }
