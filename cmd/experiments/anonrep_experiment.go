@@ -50,6 +50,7 @@ func runE11(w io.Writer, p params) error {
 			trustnet.WithMix(baseMix(0.3)),
 			trustnet.WithReputationMechanism(trustnet.UseMechanism(mech)),
 			trustnet.WithRecomputeEvery(2),
+			p.shardOpt(),
 		)
 		if err != nil {
 			return err

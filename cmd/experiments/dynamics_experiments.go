@@ -39,6 +39,16 @@ func (p params) epochs(full int) int {
 	return full
 }
 
+// shardOpt returns the engine option applying the -shards flag (clamped to
+// >= 1 so zero-valued params, e.g. from tests, stay valid).
+func (p params) shardOpt() trustnet.Option {
+	k := p.shards
+	if k < 1 {
+		k = 1
+	}
+	return trustnet.WithShards(k)
+}
+
 // scenario is the shared option template of the experiments: the standard
 // population on the standard mechanism at the standard recompute cadence.
 func scenario(p params, malicious float64, n int) []trustnet.Option {
@@ -48,6 +58,7 @@ func scenario(p params, malicious float64, n int) []trustnet.Option {
 		trustnet.WithMix(baseMix(malicious)),
 		trustnet.WithReputationMechanism(eigenFactory()),
 		trustnet.WithRecomputeEvery(2),
+		p.shardOpt(),
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -29,6 +30,10 @@ type experiment struct {
 type params struct {
 	seed  uint64
 	quick bool
+	// shards is the parallel epoch-shard count every engine runs with.
+	// Shards are a scheduling decomposition only, so experiment output is
+	// identical for every value.
+	shards int
 }
 
 func main() {
@@ -44,10 +49,14 @@ func run(args []string, w io.Writer) error {
 	runList := fs.String("run", "all", "comma-separated experiment ids (E1..E10) or 'all'")
 	quick := fs.Bool("quick", false, "smaller populations and fewer rounds")
 	seed := fs.Uint64("seed", 1, "root random seed")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "parallel epoch shards (identical results for any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p := params{seed: *seed, quick: *quick}
+	if *shards < 1 {
+		return fmt.Errorf("shards must be >= 1, got %d", *shards)
+	}
+	p := params{seed: *seed, quick: *quick, shards: *shards}
 
 	all := []experiment{
 		{"E1", "Fig.1 coupled feedback: coupling on vs off", runE1},

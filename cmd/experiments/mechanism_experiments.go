@@ -85,6 +85,7 @@ func runE7(w io.Writer, p params) error {
 				trustnet.WithMix(baseMix(frac)),
 				trustnet.WithReputationMechanism(mk.factory),
 				trustnet.WithRecomputeEvery(2),
+				p.shardOpt(),
 			)
 			if err != nil {
 				return err
@@ -122,6 +123,7 @@ func runE7(w io.Writer, p params) error {
 			trustnet.WithMix(baseMix(0.3)),
 			trustnet.WithReputationMechanism(trustnet.UseMechanism(m)),
 			trustnet.WithRecomputeEvery(1000),
+			p.shardOpt(),
 		)
 		if err != nil {
 			return err
@@ -175,6 +177,7 @@ func runE8(w io.Writer, p params) error {
 				trustnet.WithMix(mix),
 				trustnet.WithReputationMechanism(factory),
 				trustnet.WithRecomputeEvery(2),
+				p.shardOpt(),
 			)
 			if err != nil {
 				return err

@@ -5,6 +5,12 @@
 // Example:
 //
 //	trustsim -peers 200 -malicious 0.3 -mechanism eigentrust -disclosure 0.8 -epochs 10
+//
+// Long runs can be checkpointed and resumed without perturbing a single
+// draw — the resumed trajectory is bit-for-bit the uninterrupted one:
+//
+//	trustsim -epochs 5 -checkpoint run.snap
+//	trustsim -epochs 5 -resume run.snap
 package main
 
 import (
@@ -41,6 +47,8 @@ func run(args []string, w io.Writer) error {
 		ctxName    = fs.String("context", "balanced", "weight context: balanced|privacy|performance|marketplace")
 		coupled    = fs.Bool("coupled", true, "enable the §3 feedback loops")
 		shards     = fs.Int("shards", runtime.GOMAXPROCS(0), "parallel epoch shards (identical results for any count)")
+		checkpoint = fs.String("checkpoint", "", "write an engine snapshot to this file after the run")
+		resume     = fs.String("resume", "", "restore the engine from this snapshot before running (scenario flags must match the checkpointed run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,9 +107,19 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *resume != "" {
+		if err := restoreEngine(eng, *resume); err != nil {
+			return err
+		}
+	}
 	hist, err := eng.Run(context.Background(), *epochs)
 	if err != nil {
 		return err
+	}
+	if *checkpoint != "" {
+		if err := checkpointEngine(eng, *checkpoint); err != nil {
+			return err
+		}
 	}
 
 	tab := trustnet.NewTable(
@@ -119,4 +137,39 @@ func run(args []string, w io.Writer) error {
 	sum := eng.Summary()
 	fmt.Fprintf(w, "reputation rank accuracy (tau): %.4f; feedback share rate: %.4f\n", sum.Tau, sum.ShareRate)
 	return nil
+}
+
+// checkpointEngine snapshots the engine's full state to a file; a later run
+// with identical scenario flags and -resume continues bit-for-bit as if
+// never interrupted.
+func checkpointEngine(eng *trustnet.Engine, path string) error {
+	snap, err := eng.Snapshot()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := snap.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+func restoreEngine(eng *trustnet.Engine, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	defer f.Close()
+	snap, err := trustnet.DecodeSnapshot(f)
+	if err != nil {
+		return err
+	}
+	return eng.Restore(snap)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -52,6 +53,48 @@ func TestRunRejectsBadInput(t *testing.T) {
 		if err := run(args, &sb); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}
+	}
+}
+
+// TestCheckpointResume proves the CLI checkpoint workflow: 3 epochs +
+// checkpoint, then resume + 3 more, prints exactly what one uninterrupted
+// 6-epoch run prints — the snapshot preserves every stream position.
+func TestCheckpointResume(t *testing.T) {
+	scenario := []string{"-peers", "30", "-rounds", "4", "-malicious", "0.2", "-gate", "0.1"}
+	snap := filepath.Join(t.TempDir(), "run.snap")
+
+	var full strings.Builder
+	if err := run(append([]string{"-epochs", "6"}, scenario...), &full); err != nil {
+		t.Fatal(err)
+	}
+
+	var first strings.Builder
+	if err := run(append([]string{"-epochs", "3", "-checkpoint", snap}, scenario...), &first); err != nil {
+		t.Fatal(err)
+	}
+	var resumed strings.Builder
+	if err := run(append([]string{"-epochs", "3", "-resume", snap}, scenario...), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != full.String() {
+		t.Fatalf("resumed output differs from uninterrupted run:\n--- full ---\n%s\n--- resumed ---\n%s",
+			full.String(), resumed.String())
+	}
+}
+
+func TestResumeRejectsMismatchedScenario(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "run.snap")
+	var sb strings.Builder
+	if err := run([]string{"-peers", "30", "-epochs", "2", "-rounds", "3", "-checkpoint", snap}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var other strings.Builder
+	if err := run([]string{"-peers", "40", "-epochs", "2", "-rounds", "3", "-resume", snap}, &other); err == nil {
+		t.Fatal("resume into a different population accepted")
+	}
+	var missing strings.Builder
+	if err := run([]string{"-peers", "30", "-epochs", "2", "-resume", filepath.Join(t.TempDir(), "nope")}, &missing); err == nil {
+		t.Fatal("resume from missing file accepted")
 	}
 }
 

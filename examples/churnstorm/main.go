@@ -1,113 +1,113 @@
-// Churnstorm: a decentralized network under heavy membership churn with
-// whitewashing adversaries. Shows (a) the gossip peer-sampling overlay
-// repairing itself through churn, and (b) why identity cost matters:
-// whitewashers launder TrustMe's neutral-default scores but gain nothing
-// against EigenTrust's zero-default.
+// Churnstorm: a trust scenario under heavy membership churn with
+// whitewashing adversaries, scripted as data. The storm — leave waves,
+// rejoin waves, a whitewash wave — is a declarative intervention Schedule
+// applied by a streaming Session at epoch boundaries, not a hand-written
+// driving loop. Running the same schedule under EigenTrust and TrustMe
+// shows why identity cost matters: whitewashers launder TrustMe's
+// neutral-default scores but gain nothing against EigenTrust's
+// zero-default (§2.2's identity-cost argument).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/trustnet"
 )
 
-const peers = 100
+const (
+	peers  = 100
+	epochs = 12
+)
 
 func main() {
-	s := trustnet.NewSim()
-	net := trustnet.NewOverlayNetwork(s, trustnet.NewRNG(7), peers,
-		trustnet.OverlayConfig{LatencyMin: 1, LatencyMax: 3})
-	sampler := trustnet.NewPeerSampler(net, 8)
+	fmt.Printf("churn storm over %d peers, %d epochs: honest-leave@3, adversary-leave@5, whitewash@7, rejoin@9\n\n",
+		peers, epochs)
 
-	// Heavy churn: every 20 ticks, 10% of live nodes leave; leavers rejoin
-	// with probability 0.5, and half of the rejoiners whitewash (fresh id).
-	whitewashed := []trustnet.NodeID{}
-	churner, err := trustnet.StartChurn(net, trustnet.ChurnConfig{
-		Period:        20,
-		LeaveProb:     0.10,
-		RejoinProb:    0.5,
-		WhitewashProb: 0.5,
-		NewIdentity: func(old, fresh trustnet.NodeID) trustnet.OverlayHandler {
-			whitewashed = append(whitewashed, fresh)
-			// A fresh identity bootstraps into the gossip overlay through
-			// whatever live peers it can find.
-			seeds := net.AliveIDs()
-			if len(seeds) > 8 {
-				seeds = seeds[:8]
-			}
-			sampler.Bootstrap(fresh, seeds)
-			return func(m trustnet.OverlayMessage) {}
-		},
-	})
-	if err != nil {
-		log.Fatal(err)
+	for _, mech := range []struct {
+		name    string
+		factory trustnet.MechanismFactory
+	}{
+		{"eigentrust", trustnet.EigenTrust(trustnet.EigenTrustConfig{Pretrusted: []int{0, 1, 2}})},
+		{"trustme", trustnet.TrustMe(trustnet.TrustMeConfig{})},
+	} {
+		scores, adversaries := runStorm(mech.factory)
+		fmt.Printf("%-11s mean adversary score after whitewash wave: %.3f\n\n", mech.name, mean(scores, adversaries))
 	}
 
-	// Run 500 ticks of churn, shuffling the peer-sampling views as we go.
-	for tick := 0; tick < 25; tick++ {
-		if err := s.Run(s.Now() + 20); err != nil {
-			log.Fatal(err)
-		}
-		sampler.Round()
-	}
-	churner.Stop()
-
-	alive := net.AliveIDs()
-	fmt.Printf("after 500 ticks of churn: %d/%d original slots alive, %d leaves, %d rejoins, %d whitewashes\n",
-		countOriginal(alive), peers, churner.Leaves, churner.Rejoins, churner.Whitewashes)
-
-	// The sampler's views stay usable: every live node can still find a
-	// live peer.
-	stranded := 0
-	for _, id := range alive {
-		if sampler.RandomPeer(id) == -1 {
-			stranded++
-		}
-	}
-	fmt.Printf("gossip overlay health: %d/%d live nodes stranded without live peers\n", stranded, len(alive))
-
-	// Identity economics: a badly-behaved peer tries to whitewash its way
-	// out of a bad reputation under both score models.
-	et, err := trustnet.NewEigenTrust(trustnet.EigenTrustConfig{N: 30, Pretrusted: []int{1, 2}})
-	if err != nil {
-		log.Fatal(err)
-	}
-	tm, err := trustnet.NewTrustMe(trustnet.TrustMeConfig{N: 30})
-	if err != nil {
-		log.Fatal(err)
-	}
-	tx := uint64(1)
-	for rater := 1; rater < 30; rater++ {
-		r := trustnet.Report{TxID: tx, Rater: rater, Ratee: 0, Value: 0.05}
-		if err := et.Submit(r); err != nil {
-			log.Fatal(err)
-		}
-		if err := tm.Submit(r); err != nil {
-			log.Fatal(err)
-		}
-		tx++
-	}
-	et.Compute()
-	tm.Compute()
-	fmt.Printf("\npeer 0 after 29 bad ratings:   eigentrust=%.2f  trustme=%.2f\n", et.Score(0), tm.Score(0))
-	// Both mechanisms implement the Whitewasher seam of the facade.
-	for _, m := range []trustnet.Whitewasher{et, tm} {
-		m.Whitewash(0)
-	}
-	et.Compute()
-	tm.Compute()
-	fmt.Printf("peer 0 after whitewashing:     eigentrust=%.2f  trustme=%.2f\n", et.Score(0), tm.Score(0))
-	fmt.Println("\nzero-default scores make whitewashing pointless; neutral defaults reward it —")
+	fmt.Println("zero-default scores make whitewashing pointless; neutral defaults reward it —")
 	fmt.Println("the identity-cost argument of the paper's adversary discussion (§2.2).")
 }
 
-func countOriginal(ids []trustnet.NodeID) int {
-	n := 0
-	for _, id := range ids {
-		if int(id) < peers {
-			n++
+// runStorm drives one mechanism through the scripted churn storm on a
+// streaming session, printing the live trajectory. It returns the final
+// mechanism scores and the adversary cohort (identical across mechanisms:
+// class assignment depends only on the shared seed).
+func runStorm(factory trustnet.MechanismFactory) (scores []float64, adversaries []int) {
+	eng, err := trustnet.New(
+		trustnet.WithPeers(peers),
+		trustnet.WithRNGSeed(42),
+		trustnet.WithMix(trustnet.Mix{
+			Fractions: map[trustnet.Class]float64{
+				trustnet.Honest:    0.8,
+				trustnet.Malicious: 0.2,
+			},
+			ForceHonest: []int{0, 1, 2},
+		}),
+		trustnet.WithReputationMechanism(factory),
+		trustnet.WithCoupling(true),
+		trustnet.WithEpochRounds(6),
+		trustnet.WithRecomputeEvery(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Cohorts from the ground-truth assignment: the malicious peers will
+	// whitewash; a slice of honest peers rides out the storm offline.
+	var honest []int
+	for u, c := range eng.Classes() {
+		switch {
+		case c == trustnet.Malicious:
+			adversaries = append(adversaries, u)
+		case len(honest) < 20 && u > 2: // spare the pre-trusted founders
+			honest = append(honest, u)
 		}
 	}
-	return n
+
+	// The storm as data: an epoch-indexed script of churn waves.
+	storm := trustnet.Schedule{}.
+		At(3, trustnet.LeaveWave{Users: honest}).          // honest peers drop out
+		At(5, trustnet.LeaveWave{Users: adversaries}).     // the rated-down adversaries bail...
+		At(7, trustnet.WhitewashWave{Users: adversaries}). // ...and rejoin under fresh identities
+		At(9, trustnet.JoinWave{Users: honest})            // the honest cohort comes back
+
+	// Stream the epochs; the observer sees each one as it completes, and
+	// the schedule fires at the boundaries — no driving loop to hand-write.
+	session, err := eng.Session(context.Background(),
+		trustnet.WithMaxEpochs(epochs),
+		trustnet.WithSchedule(storm),
+		trustnet.OnEpoch(func(st trustnet.EpochStats) {
+			fmt.Printf("  [%s] epoch %2d: trust=%.3f bad-rate=%.3f honesty=%.3f\n",
+				eng.Mechanism().Name(), st.Epoch, st.Trust, st.BadRate, st.Honesty)
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, err := range session.Epochs() {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	return eng.Mechanism().Scores(), adversaries
+}
+
+func mean(scores []float64, users []int) float64 {
+	sum := 0.0
+	for _, u := range users {
+		sum += scores[u]
+	}
+	return sum / float64(len(users))
 }

@@ -147,6 +147,25 @@ func (d *Dynamics) SetBaseDisclosure(v float64) error {
 	return nil
 }
 
+// SetBaseHonesty overrides h0, the truthful-reporting probability at zero
+// trust (a session intervention). It takes effect in the next epoch's
+// coupling update.
+func (d *Dynamics) SetBaseHonesty(h float64) error {
+	if h < 0 || h > 1 {
+		return fmt.Errorf("core: base honesty %v out of [0,1]", h)
+	}
+	d.cfg.BaseHonesty = h
+	return nil
+}
+
+// SetCoupled enables or disables the §3 feedback loops mid-run (a session
+// intervention).
+func (d *Dynamics) SetCoupled(on bool) { d.cfg.Coupled = on }
+
+// EpochIndex returns the index the next epoch will run as (equivalently, the
+// number of completed epochs).
+func (d *Dynamics) EpochIndex() int { return d.epoch }
+
 // TrustModel exposes the trust state.
 func (d *Dynamics) TrustModel() *TrustModel { return d.tm }
 

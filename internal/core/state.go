@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/privacy"
+	"repro/internal/workload"
+)
+
+// TrustModelState is the serializable mutable state of a TrustModel. Weights
+// (default and per-user) are configuration, re-established when the model is
+// rebuilt from the same scenario settings.
+type TrustModelState struct {
+	Trust   []float64
+	Started []bool
+}
+
+// State captures the model's mutable state.
+func (m *TrustModel) State() TrustModelState {
+	return TrustModelState{
+		Trust:   append([]float64(nil), m.trust...),
+		Started: append([]bool(nil), m.started...),
+	}
+}
+
+// SetState restores a previously captured state of the same population size.
+func (m *TrustModel) SetState(st TrustModelState) error {
+	if len(st.Trust) != len(m.trust) || len(st.Started) != len(m.started) {
+		return fmt.Errorf("core: trust-model state for %d users, want %d", len(st.Trust), len(m.trust))
+	}
+	copy(m.trust, st.Trust)
+	copy(m.started, st.Started)
+	return nil
+}
+
+// DynamicsState is the serializable mutable state of the whole coupled
+// system: the workload engine (with its random streams and mechanism), the
+// privacy ledger, the trust model, the §3 coupling variables, and the
+// recorded epoch history. Restoring it into a Dynamics built from identical
+// configuration makes the continuation bit-for-bit identical to an
+// uninterrupted run.
+type DynamicsState struct {
+	Engine         workload.EngineState
+	Ledger         privacy.LedgerState
+	Trust          TrustModelState
+	BaseDisclosure float64
+	// BaseHonesty and Coupled are captured because session interventions can
+	// change them mid-run.
+	BaseHonesty float64
+	Coupled     bool
+	Disclosure  []float64
+	Honesty     []float64
+	Epoch       int
+	History     []EpochStats
+}
+
+// State captures the coupled system's mutable state.
+func (d *Dynamics) State() (DynamicsState, error) {
+	est, err := d.eng.State()
+	if err != nil {
+		return DynamicsState{}, fmt.Errorf("core: dynamics state: %w", err)
+	}
+	return DynamicsState{
+		Engine:         est,
+		Ledger:         d.ledger.State(),
+		Trust:          d.tm.State(),
+		BaseDisclosure: d.baseDisclosure,
+		BaseHonesty:    d.cfg.BaseHonesty,
+		Coupled:        d.cfg.Coupled,
+		Disclosure:     append([]float64(nil), d.disclosure...),
+		Honesty:        append([]float64(nil), d.honesty...),
+		Epoch:          d.epoch,
+		History:        append([]EpochStats(nil), d.history...),
+	}, nil
+}
+
+// Restore overwrites the coupled system's mutable state with a captured one.
+// The Dynamics must have been built from the identical configuration (shard
+// count excepted).
+func (d *Dynamics) Restore(st DynamicsState) error {
+	n := d.cfg.Workload.NumPeers
+	if len(st.Disclosure) != n || len(st.Honesty) != n {
+		return fmt.Errorf("core: snapshot coupling vectors do not match %d users", n)
+	}
+	if st.BaseDisclosure < 0 || st.BaseDisclosure > 1 {
+		return fmt.Errorf("core: snapshot base disclosure %v out of [0,1]", st.BaseDisclosure)
+	}
+	if st.BaseHonesty < 0 || st.BaseHonesty > 1 {
+		return fmt.Errorf("core: snapshot base honesty %v out of [0,1]", st.BaseHonesty)
+	}
+	if err := d.eng.Restore(st.Engine); err != nil {
+		return fmt.Errorf("core: restore engine: %w", err)
+	}
+	// The ledger is restored in place: the workload engine and this Dynamics
+	// keep their existing pointer to it.
+	d.ledger.SetState(st.Ledger)
+	if err := d.tm.SetState(st.Trust); err != nil {
+		return err
+	}
+	d.baseDisclosure = st.BaseDisclosure
+	d.cfg.BaseHonesty = st.BaseHonesty
+	d.cfg.Coupled = st.Coupled
+	copy(d.disclosure, st.Disclosure)
+	copy(d.honesty, st.Honesty)
+	d.epoch = st.Epoch
+	d.history = append([]EpochStats(nil), st.History...)
+	return nil
+}

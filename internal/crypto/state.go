@@ -1,0 +1,20 @@
+package crypto
+
+// ChainState is the serializable position of a PseudonymChain: the current
+// chain state plus the epoch counter. Restoring it reproduces the exact
+// pseudonym sequence from that point on.
+type ChainState struct {
+	State [32]byte
+	Epoch int
+}
+
+// State captures the chain position.
+func (p *PseudonymChain) State() ChainState {
+	return ChainState{State: p.state, Epoch: p.epoch}
+}
+
+// SetState restores a previously captured chain position.
+func (p *PseudonymChain) SetState(st ChainState) {
+	p.state = st.State
+	p.epoch = st.Epoch
+}

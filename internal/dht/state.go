@@ -1,0 +1,45 @@
+package dht
+
+// RingState is the serializable mutable state of a Ring whose membership is
+// rebuilt out of band (mechanism snapshots re-join the same node set before
+// restoring): the stored key/value pairs plus the routing-cost counters.
+type RingState struct {
+	Store   map[string][]byte
+	Lookups int64
+	Hops    int64
+}
+
+// State captures every stored key (deduplicated across replicas) and the
+// routing counters.
+func (r *Ring) State() RingState {
+	st := RingState{Store: make(map[string][]byte), Lookups: r.Lookups, Hops: r.Hops}
+	for _, n := range r.sorted {
+		for k, v := range n.store {
+			if _, ok := st.Store[k]; !ok {
+				st.Store[k] = append([]byte(nil), v...)
+			}
+		}
+	}
+	return st
+}
+
+// SetState drops all stored keys and restores the captured ones onto the
+// current membership's replica sets, plus the routing counters. The ring's
+// node set must already match the one the state was captured from for
+// placement (and therefore future routing costs) to be identical.
+func (r *Ring) SetState(st RingState) {
+	if r.stale {
+		r.Stabilize()
+	}
+	for _, n := range r.sorted {
+		n.store = make(map[string][]byte)
+	}
+	for k, v := range st.Store {
+		cp := append([]byte(nil), v...)
+		for _, n := range r.replicaSet(HashKey(k)) {
+			n.store[k] = cp
+		}
+	}
+	r.Lookups = st.Lookups
+	r.Hops = st.Hops
+}

@@ -1,0 +1,29 @@
+package privacy
+
+// LedgerState is the serializable state of a Ledger: the event list alone.
+// The per-owner aggregates are a derived index and are rebuilt by replaying
+// the events through Record, so the snapshot has a single source of truth.
+type LedgerState struct {
+	Events []Disclosure
+}
+
+// State captures the ledger's recorded events.
+func (l *Ledger) State() LedgerState {
+	return LedgerState{Events: append([]Disclosure(nil), l.events...)}
+}
+
+// SetState resets the ledger to the captured events, rebuilding every
+// aggregate. Restoring in place keeps existing references to the ledger
+// (the workload engine's, the dynamics') valid.
+func (l *Ledger) SetState(st LedgerState) {
+	l.events = nil
+	l.byOwner = make(map[int]map[string]map[int]bool)
+	l.sensByOwner = make(map[int]map[string]float64)
+	l.consent = make(map[int]consentTally)
+	if len(st.Events) > 0 {
+		l.events = make([]Disclosure, 0, len(st.Events))
+	}
+	for _, e := range st.Events {
+		l.Record(e)
+	}
+}

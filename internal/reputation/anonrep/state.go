@@ -1,0 +1,95 @@
+package anonrep
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/reputation"
+	"repro/internal/sim"
+)
+
+// accountState mirrors the unexported bank account for serialization.
+type accountState struct {
+	Base    float64
+	HasBase bool
+	Sum     float64
+	Count   int
+}
+
+// transferState mirrors the adversary's view of one pseudonym transfer.
+type transferState struct {
+	Peer    int
+	OldObs  float64
+	Carried float64
+}
+
+// mechanismState is the gob-serialized mutable state of the mechanism.
+type mechanismState struct {
+	RNG          sim.RNGState
+	Nyms         []crypto.ChainState
+	Cur          []string
+	Accts        map[string]accountState
+	Epoch        int
+	LastTransfer []transferState
+	Scores       []float64
+	Dirty        bool
+}
+
+// MechanismState implements reputation.Snapshotter.
+func (m *Mechanism) MechanismState() ([]byte, error) {
+	st := mechanismState{
+		RNG:    m.rng.State(),
+		Nyms:   make([]crypto.ChainState, len(m.nyms)),
+		Cur:    append([]string(nil), m.cur...),
+		Accts:  make(map[string]accountState, len(m.accts)),
+		Epoch:  m.epoch,
+		Scores: append([]float64(nil), m.scores...),
+		Dirty:  m.dirty,
+	}
+	for i, n := range m.nyms {
+		st.Nyms[i] = n.State()
+	}
+	for nym, a := range m.accts {
+		st.Accts[nym] = accountState{Base: a.base, HasBase: a.hasBase, Sum: a.sum, Count: a.count}
+	}
+	for _, t := range m.lastTransfer {
+		st.LastTransfer = append(st.LastTransfer, transferState{Peer: t.peer, OldObs: t.oldObs, Carried: t.carried})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("anonrep: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreMechanismState implements reputation.Snapshotter.
+func (m *Mechanism) RestoreMechanismState(data []byte) error {
+	var st mechanismState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("anonrep: decode state: %w", err)
+	}
+	if len(st.Scores) != m.cfg.N || len(st.Nyms) != m.cfg.N || len(st.Cur) != m.cfg.N {
+		return fmt.Errorf("anonrep: state for %d peers, want %d", len(st.Scores), m.cfg.N)
+	}
+	m.rng.SetState(st.RNG)
+	for i := range m.nyms {
+		m.nyms[i].SetState(st.Nyms[i])
+	}
+	m.cur = append([]string(nil), st.Cur...)
+	m.accts = make(map[string]*account, len(st.Accts))
+	for nym, a := range st.Accts {
+		m.accts[nym] = &account{base: a.Base, hasBase: a.HasBase, sum: a.Sum, count: a.Count}
+	}
+	m.epoch = st.Epoch
+	m.lastTransfer = nil
+	for _, t := range st.LastTransfer {
+		m.lastTransfer = append(m.lastTransfer, transfer{peer: t.Peer, oldObs: t.OldObs, carried: t.Carried})
+	}
+	m.scores = append([]float64(nil), st.Scores...)
+	m.dirty = st.Dirty
+	return nil
+}
+
+var _ reputation.Snapshotter = (*Mechanism)(nil)

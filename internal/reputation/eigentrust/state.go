@@ -1,0 +1,50 @@
+package eigentrust
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/reputation"
+)
+
+// mechanismState is the gob-serialized mutable state of the mechanism. The
+// pre-trust vector is configuration and is rebuilt by New.
+type mechanismState struct {
+	LT     reputation.LocalTrustState
+	Scores []float64
+	Dirty  bool
+}
+
+// MechanismState implements reputation.Snapshotter.
+func (m *Mechanism) MechanismState() ([]byte, error) {
+	st := mechanismState{
+		LT:     m.lt.State(),
+		Scores: append([]float64(nil), m.scores...),
+		Dirty:  m.dirty,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("eigentrust: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreMechanismState implements reputation.Snapshotter.
+func (m *Mechanism) RestoreMechanismState(data []byte) error {
+	var st mechanismState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("eigentrust: decode state: %w", err)
+	}
+	if len(st.Scores) != m.cfg.N {
+		return fmt.Errorf("eigentrust: state for %d peers, want %d", len(st.Scores), m.cfg.N)
+	}
+	if err := m.lt.SetState(st.LT); err != nil {
+		return fmt.Errorf("eigentrust: %w", err)
+	}
+	m.scores = append([]float64(nil), st.Scores...)
+	m.dirty = st.Dirty
+	return nil
+}
+
+var _ reputation.Snapshotter = (*Mechanism)(nil)

@@ -1,0 +1,80 @@
+package powertrust
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/reputation"
+)
+
+// feedbackEntry flattens one (rater, ratee) aggregate for serialization.
+type feedbackEntry struct {
+	Rater, Ratee int
+	Sum          float64
+	Count        int
+}
+
+// mechanismState is the gob-serialized mutable state of the mechanism.
+type mechanismState struct {
+	Feedback []feedbackEntry
+	Scores   []float64
+	Power    []int
+	Dirty    bool
+}
+
+// MechanismState implements reputation.Snapshotter.
+func (m *Mechanism) MechanismState() ([]byte, error) {
+	st := mechanismState{
+		Scores: append([]float64(nil), m.scores...),
+		Power:  append([]int(nil), m.power...),
+		Dirty:  m.dirty,
+	}
+	for i, row := range m.feedback {
+		for j, p := range row {
+			st.Feedback = append(st.Feedback, feedbackEntry{Rater: i, Ratee: j, Sum: p.sum, Count: p.count})
+		}
+	}
+	// Map iteration order is random; canonicalize so equal states encode to
+	// equal blobs.
+	sort.Slice(st.Feedback, func(a, b int) bool {
+		if st.Feedback[a].Rater != st.Feedback[b].Rater {
+			return st.Feedback[a].Rater < st.Feedback[b].Rater
+		}
+		return st.Feedback[a].Ratee < st.Feedback[b].Ratee
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("powertrust: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreMechanismState implements reputation.Snapshotter.
+func (m *Mechanism) RestoreMechanismState(data []byte) error {
+	var st mechanismState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("powertrust: decode state: %w", err)
+	}
+	if len(st.Scores) != m.cfg.N {
+		return fmt.Errorf("powertrust: state for %d peers, want %d", len(st.Scores), m.cfg.N)
+	}
+	feedback := make([]map[int]*pair, m.cfg.N)
+	for _, e := range st.Feedback {
+		if e.Rater < 0 || e.Rater >= m.cfg.N || e.Ratee < 0 || e.Ratee >= m.cfg.N {
+			return fmt.Errorf("powertrust: state entry %d->%d out of range [0,%d)", e.Rater, e.Ratee, m.cfg.N)
+		}
+		if feedback[e.Rater] == nil {
+			feedback[e.Rater] = make(map[int]*pair)
+		}
+		feedback[e.Rater][e.Ratee] = &pair{sum: e.Sum, count: e.Count}
+	}
+	m.feedback = feedback
+	m.scores = append([]float64(nil), st.Scores...)
+	m.power = append([]int(nil), st.Power...)
+	m.dirty = st.Dirty
+	return nil
+}
+
+var _ reputation.Snapshotter = (*Mechanism)(nil)

@@ -1,0 +1,99 @@
+package reputation
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Snapshotter is implemented by mechanisms whose mutable state can be
+// captured as an opaque blob and later restored into a freshly constructed
+// mechanism with the same configuration. It is the seam the engine-wide
+// snapshot/resume feature runs through: restore-then-run must be bit-for-bit
+// identical to an uninterrupted run.
+//
+// Mechanisms without mutable state (the None baseline) return an empty blob.
+type Snapshotter interface {
+	// MechanismState serializes the mechanism's mutable state.
+	MechanismState() ([]byte, error)
+	// RestoreMechanismState restores a blob captured from a mechanism with
+	// identical configuration.
+	RestoreMechanismState(data []byte) error
+}
+
+// LocalTrustState is the serializable state of a LocalTrust matrix.
+type LocalTrustState struct {
+	N          int
+	Sat, Unsat [][]int32
+}
+
+// State captures the matrix.
+func (l *LocalTrust) State() LocalTrustState {
+	st := LocalTrustState{N: l.n, Sat: make([][]int32, l.n), Unsat: make([][]int32, l.n)}
+	for i := 0; i < l.n; i++ {
+		st.Sat[i] = append([]int32(nil), l.sat[i]...)
+		st.Unsat[i] = append([]int32(nil), l.unsat[i]...)
+	}
+	return st
+}
+
+// SetState restores a captured matrix of the same dimension.
+func (l *LocalTrust) SetState(st LocalTrustState) error {
+	if st.N != l.n || len(st.Sat) != l.n || len(st.Unsat) != l.n {
+		return fmt.Errorf("reputation: local-trust state for %d peers, want %d", st.N, l.n)
+	}
+	for i := 0; i < l.n; i++ {
+		if len(st.Sat[i]) != l.n || len(st.Unsat[i]) != l.n {
+			return fmt.Errorf("reputation: ragged local-trust state row %d", i)
+		}
+		copy(l.sat[i], st.Sat[i])
+		copy(l.unsat[i], st.Unsat[i])
+	}
+	return nil
+}
+
+// GathererState is the serializable state of a Gatherer, including the
+// position of its private disclosure-draw stream.
+type GathererState struct {
+	RNG        sim.RNGState
+	Disclosure []float64
+	SharedBy   map[int]int64
+	Gathered   int64
+	Withheld   int64
+}
+
+// State captures the gatherer.
+func (g *Gatherer) State() GathererState {
+	st := GathererState{
+		RNG:        g.rng.State(),
+		Disclosure: append([]float64(nil), g.disclosure...),
+		SharedBy:   make(map[int]int64, len(g.sharedBy)),
+		Gathered:   g.Gathered,
+		Withheld:   g.Withheld,
+	}
+	for k, v := range g.sharedBy {
+		st.SharedBy[k] = v
+	}
+	return st
+}
+
+// RestoreGatherer rebuilds a gatherer from a captured state.
+func RestoreGatherer(st GathererState) *Gatherer {
+	rng := sim.NewRNG(0)
+	rng.SetState(st.RNG)
+	g := NewGatherer(rng, st.Disclosure)
+	g.Gathered = st.Gathered
+	g.Withheld = st.Withheld
+	for k, v := range st.SharedBy {
+		g.sharedBy[k] = v
+	}
+	return g
+}
+
+// MechanismState implements Snapshotter: the baseline has no mutable state.
+func (*None) MechanismState() ([]byte, error) { return nil, nil }
+
+// RestoreMechanismState implements Snapshotter.
+func (*None) RestoreMechanismState([]byte) error { return nil }
+
+var _ Snapshotter = (*None)(nil)

@@ -1,0 +1,76 @@
+package trustme
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/dht"
+	"repro/internal/reputation"
+)
+
+// mechanismState is the gob-serialized mutable state of the mechanism: the
+// THA-stored rating histories (ring contents + routing counters), the
+// transaction certificates, every peer's pseudonym-chain position, the
+// protocol cost counters, and the score cache. Ring membership itself is
+// configuration (all N peers join in New) and is not serialized.
+type mechanismState struct {
+	Ring     dht.RingState
+	Certs    map[uint64]crypto.TransactionCert
+	Nyms     []crypto.ChainState
+	Messages int64
+	Rejected int64
+	Scores   []float64
+	Dirty    bool
+}
+
+// MechanismState implements reputation.Snapshotter.
+func (m *Mechanism) MechanismState() ([]byte, error) {
+	st := mechanismState{
+		Ring:     m.ring.State(),
+		Certs:    make(map[uint64]crypto.TransactionCert, len(m.certs)),
+		Nyms:     make([]crypto.ChainState, len(m.nyms)),
+		Messages: m.Messages,
+		Rejected: m.Rejected,
+		Scores:   append([]float64(nil), m.scores...),
+		Dirty:    m.dirty,
+	}
+	for tx, cert := range m.certs {
+		st.Certs[tx] = cert
+	}
+	for i, n := range m.nyms {
+		st.Nyms[i] = n.State()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("trustme: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreMechanismState implements reputation.Snapshotter.
+func (m *Mechanism) RestoreMechanismState(data []byte) error {
+	var st mechanismState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("trustme: decode state: %w", err)
+	}
+	if len(st.Scores) != m.cfg.N || len(st.Nyms) != m.cfg.N {
+		return fmt.Errorf("trustme: state for %d peers, want %d", len(st.Scores), m.cfg.N)
+	}
+	m.ring.SetState(st.Ring)
+	m.certs = make(map[uint64]crypto.TransactionCert, len(st.Certs))
+	for tx, cert := range st.Certs {
+		m.certs[tx] = cert
+	}
+	for i := range m.nyms {
+		m.nyms[i].SetState(st.Nyms[i])
+	}
+	m.Messages = st.Messages
+	m.Rejected = st.Rejected
+	m.scores = append([]float64(nil), st.Scores...)
+	m.dirty = st.Dirty
+	return nil
+}
+
+var _ reputation.Snapshotter = (*Mechanism)(nil)

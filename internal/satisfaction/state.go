@@ -1,0 +1,61 @@
+package satisfaction
+
+import "fmt"
+
+// ConsumerState is the serializable mutable state of a Consumer. The EMA
+// memory is configuration, not state: it is re-established when the owning
+// engine is rebuilt from the same scenario settings.
+type ConsumerState struct {
+	Prefs   []float64
+	Sat     float64
+	Started bool
+	N       int64
+}
+
+// State captures the consumer's mutable state.
+func (c *Consumer) State() ConsumerState {
+	st := ConsumerState{Sat: c.sat, Started: c.started, N: c.n}
+	st.Prefs = append([]float64(nil), c.prefs...)
+	return st
+}
+
+// SetState restores a previously captured state. The preference vector must
+// match the consumer's provider count.
+func (c *Consumer) SetState(st ConsumerState) error {
+	if len(st.Prefs) != len(c.prefs) {
+		return fmt.Errorf("satisfaction: consumer state has %d preferences, want %d", len(st.Prefs), len(c.prefs))
+	}
+	copy(c.prefs, st.Prefs)
+	c.sat = st.Sat
+	c.started = st.Started
+	c.n = st.N
+	return nil
+}
+
+// ProviderState is the serializable mutable state of a Provider.
+type ProviderState struct {
+	Willingness []float64
+	Sat         float64
+	Started     bool
+	N           int64
+}
+
+// State captures the provider's mutable state.
+func (p *Provider) State() ProviderState {
+	st := ProviderState{Sat: p.sat, Started: p.started, N: p.n}
+	st.Willingness = append([]float64(nil), p.willingness...)
+	return st
+}
+
+// SetState restores a previously captured state. The willingness vector must
+// match the provider's consumer count.
+func (p *Provider) SetState(st ProviderState) error {
+	if len(st.Willingness) != len(p.willingness) {
+		return fmt.Errorf("satisfaction: provider state has %d willingness entries, want %d", len(st.Willingness), len(p.willingness))
+	}
+	copy(p.willingness, st.Willingness)
+	p.sat = st.Sat
+	p.started = st.Started
+	p.n = st.N
+	return nil
+}

@@ -37,8 +37,11 @@ type interactionPlan struct {
 // interactionResult is the outcome of simulating one planned interaction
 // against the round-immutable state.
 type interactionResult struct {
-	consumer   int
-	provider   int // -1 when no provider was found
+	consumer int
+	provider int // -1 when no provider was found
+	// absent marks a request whose scheduled consumer is not present in the
+	// network (a left peer): the interaction is dropped entirely.
+	absent     bool
 	gateFailed bool
 	candidates []int
 	refused    bool
@@ -80,6 +83,10 @@ func (e *Engine) scatter(plans []interactionPlan, scores []float64, gate float64
 func (e *Engine) simulate(p *interactionPlan, scores []float64, gate float64) interactionResult {
 	rng := &p.rng
 	r := interactionResult{consumer: p.consumer, provider: -1}
+	if !e.PeerActive(p.consumer) {
+		r.absent = true
+		return r
+	}
 	candidates := e.sampleCandidates(rng, p.consumer)
 	if gate >= 0 {
 		eligible := candidates[:0]
@@ -122,6 +129,9 @@ func (e *Engine) simulate(p *interactionPlan, scores []float64, gate float64) in
 func (e *Engine) gather(results []interactionResult, st *RoundStats) {
 	for k := range results {
 		r := &results[k]
+		if r.absent {
+			continue
+		}
 		if r.gateFailed {
 			e.GateFailures++
 			e.consumers[r.consumer].ObserveFailure()

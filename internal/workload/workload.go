@@ -217,6 +217,18 @@ type Engine struct {
 	activityOrder []int
 	// shards is the worker count of the scatter phase (>= 1); see shard.go.
 	shards int
+	// active, when non-nil, marks which peers are present in the network
+	// (session Join/Leave/Whitewash waves). nil means everyone is present.
+	// Absent peers are never candidates, never serve, and their scheduled
+	// interactions are dropped (the request had no one to make it).
+	active []bool
+	// clique is the current colluder id set, shared by every colluder
+	// behaviour so intervention-time class swaps keep the clique coherent.
+	clique map[int]bool
+	// roundObserver, when set, is invoked with each completed round's stats
+	// (the session layer's OnRound hook). It runs after the round's state is
+	// fully merged and must not mutate the engine.
+	roundObserver func(RoundStats)
 	// profileItem caches each user's ledger item name so the gather phase
 	// does not re-format it on every interaction.
 	profileItem []string
@@ -282,9 +294,11 @@ func NewEngine(cfg Config, mech reputation.Mechanism) (*Engine, error) {
 	for i := range e.profileItem {
 		e.profileItem[i] = "profile/" + strconv.Itoa(i)
 	}
+	e.clique = make(map[int]bool)
 	for id, c := range classes {
 		if c == adversary.Colluder {
 			e.colluders = append(e.colluders, id)
+			e.clique[id] = true
 		}
 	}
 	if cfg.ActivitySkew > 0 {
@@ -404,11 +418,15 @@ func (e *Engine) Round() RoundStats {
 	results := e.scatter(plans, scores, gate)
 	e.gather(results, &st)
 	// Malicious collective: each colluder fabricates one satisfied
-	// transaction about another clique member per round.
+	// transaction about another clique member per round. Absent colluders
+	// neither stuff ballots nor receive them.
 	if len(e.colluders) > 1 {
 		for _, c := range e.colluders {
+			if !e.PeerActive(c) {
+				continue
+			}
 			m := e.colluders[e.rng.Intn(len(e.colluders))]
-			if m == c {
+			if m == c || !e.PeerActive(m) {
 				continue
 			}
 			e.FakeReports++
@@ -423,6 +441,9 @@ func (e *Engine) Round() RoundStats {
 	e.cumulative.Interactions += st.Interactions
 	e.cumulative.BadService += st.BadService
 	e.cumulative.Refused += st.Refused
+	if e.roundObserver != nil {
+		e.roundObserver(st)
+	}
 	return st
 }
 
@@ -469,7 +490,7 @@ func (e *Engine) sampleCandidates(rng *sim.RNG, consumer int) []int {
 	// Candidate sets are tiny (default 5), so a linear membership scan
 	// beats allocating a map in this per-interaction hot path.
 	seen := func(p int) bool {
-		if p == consumer {
+		if p == consumer || !e.PeerActive(p) {
 			return true
 		}
 		for _, q := range out {
@@ -604,6 +625,135 @@ func (e *Engine) SetShards(k int) {
 		k = 1
 	}
 	e.shards = k
+}
+
+// SetRoundObserver installs (or, with nil, removes) the callback invoked
+// after every completed round. The callback sees the merged round stats and
+// must not mutate the engine; pure observation does not perturb any random
+// stream, so observed and unobserved runs are bit-for-bit identical.
+func (e *Engine) SetRoundObserver(fn func(RoundStats)) { e.roundObserver = fn }
+
+// PeerActive reports whether a peer is currently present in the network.
+func (e *Engine) PeerActive(peer int) bool {
+	if peer < 0 || peer >= e.cfg.NumPeers {
+		return false
+	}
+	return e.active == nil || e.active[peer]
+}
+
+// SetPeerActive marks a peer present (Join) or absent (Leave). Absent peers
+// are excluded from candidate sets, drop their scheduled requests, and do
+// not ballot-stuff; all their accumulated state (satisfaction, reputation,
+// ledger) survives for when they rejoin.
+func (e *Engine) SetPeerActive(peer int, on bool) error {
+	if peer < 0 || peer >= e.cfg.NumPeers {
+		return fmt.Errorf("workload: peer %d out of range [0,%d)", peer, e.cfg.NumPeers)
+	}
+	if e.active == nil {
+		if on {
+			return nil // everyone already present
+		}
+		e.active = make([]bool, e.cfg.NumPeers)
+		for i := range e.active {
+			e.active[i] = true
+		}
+	}
+	e.active[peer] = on
+	return nil
+}
+
+// ActivePeers returns how many peers are currently present.
+func (e *Engine) ActivePeers() int {
+	if e.active == nil {
+		return e.cfg.NumPeers
+	}
+	n := 0
+	for _, on := range e.active {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// SetTrustGate changes the privacy trust-gate strictness mid-run (a
+// privacy-policy intervention). The new gate applies from the next round.
+func (e *Engine) SetTrustGate(gate float64) error {
+	if gate < 0 || gate >= 1 {
+		return fmt.Errorf("workload: trust gate %v out of [0,1)", gate)
+	}
+	e.cfg.TrustGate = gate
+	return nil
+}
+
+// SetLedgerScale changes the exposure normalization scale of the attached
+// ledger's privacy facet.
+func (e *Engine) SetLedgerScale(scale float64) error {
+	if scale < 0 {
+		return fmt.Errorf("workload: negative exposure scale %v", scale)
+	}
+	if scale == 0 {
+		scale = 50
+	}
+	e.ledgerScale = scale
+	return nil
+}
+
+// SetBehaviorClass swaps a peer's behaviour class mid-run (adversary
+// activation / honesty restoration). Colluder swaps keep the shared clique
+// coherent: every colluder behaviour is rebuilt over the updated clique.
+func (e *Engine) SetBehaviorClass(peer int, class adversary.Class) error {
+	if peer < 0 || peer >= e.cfg.NumPeers {
+		return fmt.Errorf("workload: peer %d out of range [0,%d)", peer, e.cfg.NumPeers)
+	}
+	if e.classes[peer] == class {
+		return nil
+	}
+	wasColluder := e.classes[peer] == adversary.Colluder
+	// Validate and construct the non-colluder behaviour BEFORE touching any
+	// shared state, so a bad class leaves clique/classes/colluders intact.
+	// (A Colluder target cannot fail: its clique is non-empty once the peer
+	// joins, and rebuildColluders constructs it below.)
+	var b adversary.Behavior
+	if class != adversary.Colluder {
+		var err error
+		if b, err = adversary.New(class, e.cfg.AdvCfg); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+	}
+	if class == adversary.Colluder {
+		e.clique[peer] = true
+	} else if wasColluder {
+		delete(e.clique, peer)
+	}
+	e.classes[peer] = class
+	if b != nil {
+		e.snet.User(peer).Behavior = b
+	}
+	if wasColluder || class == adversary.Colluder {
+		return e.rebuildColluders()
+	}
+	return nil
+}
+
+// rebuildColluders recomputes the colluder roster from the classes and
+// refreshes every colluder's behaviour over the current shared clique.
+func (e *Engine) rebuildColluders() error {
+	e.colluders = e.colluders[:0]
+	cfg := e.cfg.AdvCfg
+	cfg.Clique = e.clique
+	for id, c := range e.classes {
+		if c != adversary.Colluder {
+			continue
+		}
+		e.colluders = append(e.colluders, id)
+		b, err := adversary.New(adversary.Colluder, cfg)
+		if err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+		e.snet.User(id).Behavior = b
+	}
+	return nil
 }
 
 // ConsumerSatisfactions returns each consumer's long-run satisfaction.

@@ -28,6 +28,17 @@
 //   - Engine.Run — drive the §3 coupled dynamics epoch by epoch under a
 //     context.Context.
 //
+// Run is the batch wrapper over the session layer. Engine.Session streams
+// the same dynamics incrementally — Next pulls one epoch, Epochs adapts the
+// session to range-over-func iteration — fires OnEpoch/OnRound observers
+// without perturbing determinism, and applies a declarative, epoch-indexed
+// intervention Schedule (Join/Leave/Whitewash waves, policy and trust-gate
+// changes, honesty and adversary activation) at epoch boundaries.
+// Engine.Snapshot captures the complete mutable state (every random-stream
+// position included) as a versioned, serializable Snapshot; restoring it
+// into an engine built from identical options continues bit-for-bit
+// identically to an uninterrupted run, at any shard count.
+//
 // The §4 tradeoff explorer is exposed as Explore, Optimize and
 // EvaluateSetting over the same option-built scenarios.
 //

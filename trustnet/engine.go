@@ -84,6 +84,14 @@ func (e *Engine) Shards() int { return e.dyn.Engine().Shards() }
 // Mechanism returns the plugged-in reputation mechanism.
 func (e *Engine) Mechanism() Mechanism { return e.mech }
 
+// Classes returns the current ground-truth behaviour class per peer (the
+// scenario's assignment, as modified by any BehaviorChange interventions).
+func (e *Engine) Classes() []Class { return e.dyn.Engine().Classes() }
+
+// ActivePeers returns how many peers are currently present in the network
+// (the population size minus users removed by LeaveWave interventions).
+func (e *Engine) ActivePeers() int { return e.dyn.Engine().ActivePeers() }
+
 // Ledger returns the disclosure ledger accounting every information flow
 // of the scenario.
 func (e *Engine) Ledger() *Ledger { return e.dyn.Engine().Ledger() }
@@ -99,27 +107,40 @@ func (e *Engine) RunRounds(n int) {
 
 // Epoch runs one §3 coupling epoch: the workload runs, the facets are
 // measured, every user's trust updates, and — when coupling is enabled —
-// trust feeds back into disclosure and honesty for the next epoch.
+// trust feeds back into disclosure and honesty for the next epoch. It is a
+// single-step Session.
 func (e *Engine) Epoch() (EpochStats, error) {
-	return e.dyn.Epoch()
+	s, err := e.Session(context.Background(), WithMaxEpochs(1))
+	if err != nil {
+		return EpochStats{}, err
+	}
+	return s.Next()
 }
 
 // Run drives the coupled dynamics for the given number of epochs,
 // honouring ctx between epochs. It returns the full epoch history
 // recorded so far (including epochs from earlier Run/Epoch calls).
+//
+// Run is the batch wrapper over Session; use Session directly to stream
+// epochs, register observers, schedule interventions, or checkpoint.
 func (e *Engine) Run(ctx context.Context, epochs int) ([]EpochStats, error) {
-	for i := 0; i < epochs; i++ {
-		if err := ctx.Err(); err != nil {
-			return e.dyn.History(), err
-		}
-		if _, err := e.dyn.Epoch(); err != nil {
-			return e.dyn.History(), err
+	if epochs < 0 {
+		epochs = 0
+	}
+	s, err := e.Session(ctx, WithMaxEpochs(epochs))
+	if err != nil {
+		return e.History(), err
+	}
+	for _, err := range s.Epochs() {
+		if err != nil {
+			return e.History(), err
 		}
 	}
-	return e.dyn.History(), nil
+	return e.History(), nil
 }
 
-// History returns the recorded coupling epochs.
+// History returns a copy of the recorded coupling epochs; mutating it never
+// corrupts the engine's record.
 func (e *Engine) History() []EpochStats { return e.dyn.History() }
 
 // Summary computes the scenario-level metrics so far.

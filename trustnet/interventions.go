@@ -1,0 +1,252 @@
+package trustnet
+
+import "fmt"
+
+// Intervention is one typed scenario event a Session applies at an epoch
+// boundary: churn waves, policy flips, adversary activation. Interventions
+// are data, not code — a churn storm or a traitor wave is declared once in a
+// Schedule instead of hand-written into the driving loop — and they apply
+// through the same deterministic seams the engine itself uses, so a
+// scheduled scenario is exactly as reproducible as an unscheduled one.
+//
+// The set of interventions is closed: the concrete types in this file are
+// the vocabulary.
+type Intervention interface {
+	// check validates the intervention against the engine at session
+	// construction, so a malformed schedule fails fast rather than at epoch
+	// boundary N.
+	check(e *Engine) error
+	// applyTo executes the intervention at its epoch boundary.
+	applyTo(e *Engine) error
+}
+
+// checkUsers validates a user id list against the population.
+func checkUsers(e *Engine, users []int, what string) error {
+	if len(users) == 0 {
+		return fmt.Errorf("trustnet: %s with no users", what)
+	}
+	for _, u := range users {
+		if u < 0 || u >= e.Peers() {
+			return fmt.Errorf("trustnet: %s user %d out of range [0,%d)", what, u, e.Peers())
+		}
+	}
+	return nil
+}
+
+// JoinWave brings the listed users (back) into the network. Joining is
+// idempotent; a joining user resumes with all the state it left with.
+type JoinWave struct{ Users []int }
+
+func (w JoinWave) check(e *Engine) error { return checkUsers(e, w.Users, "join wave") }
+func (w JoinWave) applyTo(e *Engine) error {
+	for _, u := range w.Users {
+		if err := e.workloadEngine().SetPeerActive(u, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LeaveWave removes the listed users from the network: they stop requesting,
+// serving, and appearing in candidate sets, but keep their accumulated state
+// for a later JoinWave.
+type LeaveWave struct{ Users []int }
+
+func (w LeaveWave) check(e *Engine) error { return checkUsers(e, w.Users, "leave wave") }
+func (w LeaveWave) applyTo(e *Engine) error {
+	for _, u := range w.Users {
+		if err := e.workloadEngine().SetPeerActive(u, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WhitewashWave makes the listed users abandon their identities and rejoin
+// fresh: the mechanism's per-peer reputation state is erased (the mechanism
+// must implement Whitewasher) and the user is marked present. The contrast
+// between zero-default and neutral-default mechanisms under this wave is the
+// paper's identity-cost argument (§2.2).
+type WhitewashWave struct{ Users []int }
+
+func (w WhitewashWave) check(e *Engine) error {
+	if _, ok := e.Mechanism().(Whitewasher); !ok {
+		return fmt.Errorf("trustnet: whitewash wave: mechanism %q cannot whitewash", e.Mechanism().Name())
+	}
+	return checkUsers(e, w.Users, "whitewash wave")
+}
+func (w WhitewashWave) applyTo(e *Engine) error {
+	ww := e.Mechanism().(Whitewasher)
+	for _, u := range w.Users {
+		ww.Whitewash(u)
+		if err := e.workloadEngine().SetPeerActive(u, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PolicyChange installs a new privacy policy mid-run: base disclosure,
+// trust-gate strictness, and exposure normalization, exactly as
+// WithPrivacyPolicy configures them at construction.
+type PolicyChange struct{ Policy PrivacyPolicy }
+
+func (c PolicyChange) check(*Engine) error {
+	p := c.Policy
+	if p.Disclosure < 0 || p.Disclosure > 1 {
+		return fmt.Errorf("trustnet: policy change disclosure %v out of [0,1]", p.Disclosure)
+	}
+	if p.TrustGate < 0 || p.TrustGate >= 1 {
+		return fmt.Errorf("trustnet: policy change trust gate %v out of [0,1)", p.TrustGate)
+	}
+	if p.ExposureScale < 0 {
+		return fmt.Errorf("trustnet: policy change negative exposure scale %v", p.ExposureScale)
+	}
+	return nil
+}
+func (c PolicyChange) applyTo(e *Engine) error {
+	if err := e.dyn.SetBaseDisclosure(c.Policy.Disclosure); err != nil {
+		return err
+	}
+	if err := e.workloadEngine().SetTrustGate(c.Policy.TrustGate); err != nil {
+		return err
+	}
+	return e.workloadEngine().SetLedgerScale(c.Policy.ExposureScale)
+}
+
+// TrustGateChange adjusts only the privacy trust-gate strictness.
+type TrustGateChange struct{ Gate float64 }
+
+func (c TrustGateChange) check(*Engine) error {
+	if c.Gate < 0 || c.Gate >= 1 {
+		return fmt.Errorf("trustnet: trust gate %v out of [0,1)", c.Gate)
+	}
+	return nil
+}
+func (c TrustGateChange) applyTo(e *Engine) error {
+	return e.workloadEngine().SetTrustGate(c.Gate)
+}
+
+// DisclosureChange adjusts only the base disclosure δ_base, including a true
+// zero (share nothing). Every user's current disclosure resets to the new
+// base; the §3 coupling re-derives per-user values from the next epoch on.
+type DisclosureChange struct{ Base float64 }
+
+func (c DisclosureChange) check(*Engine) error {
+	if c.Base < 0 || c.Base > 1 {
+		return fmt.Errorf("trustnet: disclosure %v out of [0,1]", c.Base)
+	}
+	return nil
+}
+func (c DisclosureChange) applyTo(e *Engine) error {
+	return e.dyn.SetBaseDisclosure(c.Base)
+}
+
+// HonestyChange adjusts h0, the truthful-reporting probability at zero trust
+// (honesty activation: rises to 1 with full trust).
+type HonestyChange struct{ Base float64 }
+
+func (c HonestyChange) check(*Engine) error {
+	if c.Base < 0 || c.Base > 1 {
+		return fmt.Errorf("trustnet: base honesty %v out of [0,1]", c.Base)
+	}
+	return nil
+}
+func (c HonestyChange) applyTo(e *Engine) error {
+	return e.dyn.SetBaseHonesty(c.Base)
+}
+
+// CouplingChange enables or disables the §3 feedback loops mid-run.
+type CouplingChange struct{ Enabled bool }
+
+func (CouplingChange) check(*Engine) error { return nil }
+func (c CouplingChange) applyTo(e *Engine) error {
+	e.dyn.SetCoupled(c.Enabled)
+	return nil
+}
+
+// BehaviorChange swaps the listed users to a behaviour class mid-run: the
+// adversary-activation intervention (honest users turning malicious, a
+// traitor cohort flipping, or compromised users being restored to Honest).
+type BehaviorChange struct {
+	Users []int
+	Class Class
+}
+
+func (c BehaviorChange) check(e *Engine) error {
+	switch c.Class {
+	case Honest, Malicious, Selfish, Traitor, WhitewasherClass, Slanderer, Colluder:
+	default:
+		return fmt.Errorf("trustnet: behavior change to unknown class %d", int(c.Class))
+	}
+	return checkUsers(e, c.Users, "behavior change")
+}
+func (c BehaviorChange) applyTo(e *Engine) error {
+	for _, u := range c.Users {
+		if err := e.workloadEngine().SetBehaviorClass(u, c.Class); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScheduledIntervention binds an intervention to the epoch boundary at which
+// it fires (just before epoch Epoch runs; epoch indices are 0-based and
+// global to the engine, so a resumed session skips boundaries that already
+// fired before its snapshot).
+type ScheduledIntervention struct {
+	Epoch  int
+	Action Intervention
+}
+
+// Schedule is a declarative, epoch-indexed intervention script. Build one
+// with At:
+//
+//	sched := trustnet.Schedule{}.
+//		At(3, trustnet.LeaveWave{Users: storm}).
+//		At(6, trustnet.WhitewashWave{Users: storm}).
+//		At(8, trustnet.PolicyChange{Policy: strict})
+//
+// Interventions at the same epoch apply in declaration order.
+type Schedule []ScheduledIntervention
+
+// At returns the schedule extended with interventions firing at the given
+// epoch boundary. The receiver is never mutated — the result has its own
+// backing array — so schedules branch safely from a shared base:
+// base.At(5, x) and base.At(5, y) are independent.
+func (s Schedule) At(epoch int, actions ...Intervention) Schedule {
+	out := make(Schedule, len(s), len(s)+len(actions))
+	copy(out, s)
+	for _, a := range actions {
+		out = append(out, ScheduledIntervention{Epoch: epoch, Action: a})
+	}
+	return out
+}
+
+// validate checks the whole schedule against an engine.
+func (s Schedule) validate(e *Engine) error {
+	for i, si := range s {
+		if si.Epoch < 0 {
+			return fmt.Errorf("trustnet: schedule entry %d at negative epoch %d", i, si.Epoch)
+		}
+		if si.Action == nil {
+			return fmt.Errorf("trustnet: schedule entry %d has nil intervention", i)
+		}
+		if err := si.Action.check(e); err != nil {
+			return fmt.Errorf("trustnet: schedule entry %d (epoch %d): %w", i, si.Epoch, err)
+		}
+	}
+	return nil
+}
+
+// forEpoch returns the interventions firing at one epoch boundary, in
+// declaration order.
+func (s Schedule) forEpoch(epoch int) []Intervention {
+	var out []Intervention
+	for _, si := range s {
+		if si.Epoch == epoch {
+			out = append(out, si.Action)
+		}
+	}
+	return out
+}

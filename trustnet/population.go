@@ -24,6 +24,10 @@ const (
 	Slanderer = adversary.Slanderer
 	// Colluder peers form a ballot-stuffing clique.
 	Colluder = adversary.Colluder
+	// WhitewasherClass peers behave maliciously and shed bad reputations by
+	// rejoining under fresh identities. (Named WhitewasherClass because the
+	// facade name Whitewasher is taken by the mechanism-reset interface.)
+	WhitewasherClass = adversary.Whitewasher
 )
 
 // Mix is the behaviour-class composition of a population.

@@ -1,0 +1,216 @@
+package trustnet
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// runEpochs drives an engine n epochs, failing the test on any error.
+func runEpochs(t *testing.T, eng *Engine, n int) {
+	t.Helper()
+	if _, err := eng.Run(context.Background(), n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapshotRoundTrip serializes and re-decodes a snapshot, proving file-level
+// checkpoints behave exactly like in-memory ones.
+func snapshotRoundTrip(t *testing.T, eng *Engine) *Snapshot {
+	t.Helper()
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decoded
+}
+
+// TestSnapshotResumeGolden is the acceptance test of the snapshot feature:
+// for every epoch boundary and for capture/restore shard counts {1,4},
+// snapshot -> encode -> decode -> restore -> run-the-rest reproduces the
+// uninterrupted history bit-for-bit.
+func TestSnapshotResumeGolden(t *testing.T) {
+	const totalEpochs = 6
+	reference, err := New(sessionScenario(101, WithShards(1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEpochs(t, reference, totalEpochs)
+	want := histBytes(t, reference.History())
+
+	for _, captureShards := range []int{1, 4} {
+		for _, resumeShards := range []int{1, 4} {
+			for boundary := 0; boundary <= totalEpochs; boundary++ {
+				first, err := New(sessionScenario(101, WithShards(captureShards))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runEpochs(t, first, boundary)
+				snap := snapshotRoundTrip(t, first)
+				if snap.Epoch != boundary {
+					t.Fatalf("snapshot at boundary %d reports epoch %d", boundary, snap.Epoch)
+				}
+
+				second, err := New(sessionScenario(101, WithShards(resumeShards))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := second.Restore(snap); err != nil {
+					t.Fatalf("restore at boundary %d: %v", boundary, err)
+				}
+				runEpochs(t, second, totalEpochs-boundary)
+				if got := histBytes(t, second.History()); !bytes.Equal(want, got) {
+					t.Fatalf("resume at boundary %d (capture %d shards, resume %d) diverges from uninterrupted run",
+						boundary, captureShards, resumeShards)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotResumeAllMechanisms proves every built-in mechanism's state
+// survives the round trip: resume at a mid-run boundary reproduces the
+// uninterrupted history exactly.
+func TestSnapshotResumeAllMechanisms(t *testing.T) {
+	const totalEpochs, boundary = 5, 2
+	mechs := []struct {
+		name    string
+		factory MechanismFactory
+	}{
+		{"eigentrust", EigenTrust(EigenTrustConfig{Pretrusted: []int{0, 1, 2}})},
+		{"powertrust", PowerTrust(PowerTrustConfig{})},
+		{"trustme", TrustMe(TrustMeConfig{})},
+		{"anonrep", AnonRep(AnonRepConfig{Seed: 5})},
+		{"none", NoReputation()},
+	}
+	for _, mk := range mechs {
+		t.Run(mk.name, func(t *testing.T) {
+			opts := func() []Option {
+				return sessionScenario(211, WithReputationMechanism(mk.factory))
+			}
+			full, err := New(opts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runEpochs(t, full, totalEpochs)
+			want := histBytes(t, full.History())
+
+			first, err := New(opts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runEpochs(t, first, boundary)
+			snap := snapshotRoundTrip(t, first)
+			second, err := New(opts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := second.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			runEpochs(t, second, totalEpochs-boundary)
+			if !bytes.Equal(want, histBytes(t, second.History())) {
+				t.Fatal("resumed history diverges from uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestSnapshotResumeWithSchedule proves checkpoints compose with scripted
+// scenarios: a snapshot taken mid-schedule resumes into a session carrying
+// the same schedule and reproduces the uninterrupted scripted run, including
+// interventions that fire after the boundary.
+func TestSnapshotResumeWithSchedule(t *testing.T) {
+	const totalEpochs, boundary = 6, 3
+	cohort := []int{5, 6, 7, 8, 9, 10, 11, 12}
+	sched := Schedule{}.
+		At(1, LeaveWave{Users: cohort}).
+		At(2, TrustGateChange{Gate: 0.2}).
+		At(4, WhitewashWave{Users: cohort}).
+		At(5, BehaviorChange{Users: []int{40, 41}, Class: Traitor})
+
+	runScripted := func(eng *Engine, epochs int) {
+		t.Helper()
+		s, err := eng.Session(context.Background(), WithMaxEpochs(epochs), WithSchedule(sched))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, err := range s.Epochs() {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	full, err := New(sessionScenario(307)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runScripted(full, totalEpochs)
+	want := histBytes(t, full.History())
+
+	first, err := New(sessionScenario(307)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runScripted(first, boundary)
+	snap := snapshotRoundTrip(t, first)
+
+	second, err := New(sessionScenario(307, WithShards(4))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	runScripted(second, totalEpochs-boundary)
+	if !bytes.Equal(want, histBytes(t, second.History())) {
+		t.Fatal("scripted resume diverges from uninterrupted scripted run")
+	}
+}
+
+func TestSnapshotMismatchRejected(t *testing.T) {
+	eng, err := New(sessionScenario(401)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEpochs(t, eng, 2)
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	smaller, err := New(WithPeers(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smaller.Restore(snap); err == nil || !strings.Contains(err.Error(), "peers") {
+		t.Fatalf("restore into wrong population = %v, want peers mismatch", err)
+	}
+
+	otherMech, err := New(sessionScenario(401, WithReputationMechanism(TrustMe(TrustMeConfig{})))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := otherMech.Restore(snap); err == nil || !strings.Contains(err.Error(), "mechanism") {
+		t.Fatalf("restore into wrong mechanism = %v, want mechanism mismatch", err)
+	}
+
+	if err := eng.Restore(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	bad := *snap
+	bad.Version = 99
+	if err := eng.Restore(&bad); err == nil {
+		t.Fatal("wrong-version snapshot accepted")
+	}
+}
