@@ -20,6 +20,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/social"
 	"repro/internal/workload"
+	"repro/trustnet"
 )
 
 func benchMix(malicious float64) adversary.Mix {
@@ -96,20 +97,21 @@ func BenchmarkE5DisclosureSweep(b *testing.B) {
 	}
 }
 
-// BenchmarkE6AreaA regenerates E6 (Fig. 2 left): a 3x3 grid classification.
+// BenchmarkE6AreaA regenerates E6 (Fig. 2 left): a 3x3 grid classification
+// (the sweep-backed facade explorer).
 func BenchmarkE6AreaA(b *testing.B) {
-	cfg := core.ExploreConfig{
-		Base: workload.Config{
-			Seed: 1, NumPeers: 60, Mix: benchMix(0.3), RecomputeEvery: 2,
-		},
-		Mechanism: func(n int) (reputation.Mechanism, error) {
-			return eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1, 2}})
+	cfg := trustnet.ExploreConfig{
+		Scenario: trustnet.Scenario{
+			Peers: 60, Seed: 1,
+			Mix:            trustnet.MixOf(map[string]float64{"malicious": 0.3}, 0, 1, 2),
+			Mechanism:      trustnet.MechanismSpec{Kind: "eigentrust", Pretrusted: []int{0, 1, 2}},
+			RecomputeEvery: 2,
 		},
 		Rounds:   15,
 		GridSize: 3,
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Explore(context.Background(), cfg); err != nil {
+		if _, err := trustnet.Explore(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,21 +213,21 @@ func BenchmarkE9PriServ(b *testing.B) {
 }
 
 // BenchmarkE10Optimize regenerates E10: the constrained optimizer on a
-// small grid.
+// small grid (the sweep-backed facade optimizer).
 func BenchmarkE10Optimize(b *testing.B) {
-	cfg := core.ExploreConfig{
-		Base: workload.Config{
-			Seed: 1, NumPeers: 50, Mix: benchMix(0.3), RecomputeEvery: 2,
-		},
-		Mechanism: func(n int) (reputation.Mechanism, error) {
-			return eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1, 2}})
+	cfg := trustnet.ExploreConfig{
+		Scenario: trustnet.Scenario{
+			Peers: 50, Seed: 1,
+			Mix:            trustnet.MixOf(map[string]float64{"malicious": 0.3}, 0, 1, 2),
+			Mechanism:      trustnet.MechanismSpec{Kind: "eigentrust", Pretrusted: []int{0, 1, 2}},
+			RecomputeEvery: 2,
 		},
 		Rounds:   12,
 		GridSize: 3,
 		Weights:  core.ContextWeights(core.PrivacyCritical),
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Optimize(context.Background(), cfg, core.Constraints{MinPrivacy: 0.5}); err != nil {
+		if _, err := trustnet.Optimize(context.Background(), cfg, trustnet.Constraints{MinPrivacy: 0.5}); err != nil {
 			b.Fatal(err)
 		}
 	}

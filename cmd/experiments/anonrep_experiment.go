@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -9,10 +10,13 @@ import (
 
 // runE11 measures the reputation/anonymity trade-off of the anonymous
 // reputation schemes the paper cites in §2.2 ([2], [4]): rotating
-// pseudonyms with coarse, noisy reputation transfer. Sweeping the transfer
-// noise shows the paper's "interesting but challenging trade-off between
-// reputation and privacy purposes": linkability (privacy loss) and rank
-// accuracy (reputation power) fall together.
+// pseudonyms with coarse, noisy reputation transfer. The five protection
+// settings are one (granularity, noise) tuple axis of a sweep; a custom
+// driver advances the pseudonym epoch between round chunks and reports the
+// linkability advantage. Sweeping the transfer noise shows the paper's
+// "interesting but challenging trade-off between reputation and privacy
+// purposes": linkability (privacy loss) and rank accuracy (reputation
+// power) fall together.
 func runE11(w io.Writer, p params) error {
 	n := p.peers(150)
 	chunks := 6
@@ -21,51 +25,46 @@ func runE11(w io.Writer, p params) error {
 		chunks = 4
 		roundsPerChunk = 5
 	}
-	type setting struct {
-		gran  float64
-		noise float64
-	}
-	settings := []setting{
+	settings := [][]float64{
 		{0.001, 0.00},
 		{0.05, 0.02},
 		{0.10, 0.05},
 		{0.25, 0.10},
 		{0.50, 0.20},
 	}
+	base := scenario(p, 0.3, n)
+	base.Mechanism = trustnet.MechanismSpec{Kind: "anonrep"}
+	res, err := trustnet.NewExperiment(base).
+		VaryTuples([]string{"granularity", "noise"}, settings...).
+		Drive(func(_ context.Context, eng *trustnet.Engine, _ trustnet.Scenario) (map[string]float64, error) {
+			mech, ok := eng.Mechanism().(*trustnet.AnonRepMechanism)
+			if !ok {
+				return nil, fmt.Errorf("E11 needs the anonrep mechanism, got %q", eng.Mechanism().Name())
+			}
+			var advSum float64
+			for c := 0; c < chunks; c++ {
+				eng.RunRounds(roundsPerChunk)
+				mech.NextEpoch()
+				advSum += mech.LinkabilityAdvantage()
+			}
+			return map[string]float64{"linkability": advSum / float64(chunks)}, nil
+		}).
+		Run(context.Background())
+	if err != nil {
+		return err
+	}
 	tab := trustnet.NewTable(
 		fmt.Sprintf("E11: pseudonymous reputation — anonymity vs accuracy (%d peers, 30%% malicious)", n),
 		"granularity", "noise", "linkability", "tau", "bad-rate")
 	var link, tau trustnet.Series
 	link.Name, tau.Name = "linkability", "tau"
-	for _, s := range settings {
-		mech, err := trustnet.NewAnonRep(trustnet.AnonRepConfig{
-			N: n, Granularity: s.gran, Noise: s.noise, Seed: p.seed,
-		})
-		if err != nil {
-			return err
-		}
-		eng, err := trustnet.New(
-			trustnet.WithPeers(n),
-			trustnet.WithRNGSeed(p.seed),
-			trustnet.WithMix(baseMix(0.3)),
-			trustnet.WithReputationMechanism(trustnet.UseMechanism(mech)),
-			trustnet.WithRecomputeEvery(2),
-			p.shardOpt(),
-		)
-		if err != nil {
-			return err
-		}
-		var advSum float64
-		for c := 0; c < chunks; c++ {
-			eng.RunRounds(roundsPerChunk)
-			mech.NextEpoch()
-			advSum += mech.LinkabilityAdvantage()
-		}
-		sum := eng.Summary()
-		adv := advSum / float64(chunks)
-		tab.AddRow(s.gran, s.noise, adv, sum.Tau, sum.RecentBadRate)
-		link.Add(s.noise, adv)
-		tau.Add(s.noise, sum.Tau)
+	for _, cell := range res.Cells {
+		gran, noise := cell.Coord.Get("granularity"), cell.Coord.Get("noise")
+		adv := cell.Extra["linkability"].Mean
+		sum := cell.Runs[0].Summary
+		tab.AddRow(gran, noise, adv, sum.Tau, sum.RecentBadRate)
+		link.Add(noise, adv)
+		tau.Add(noise, sum.Tau)
 	}
 	tab.Render(w)
 	fmt.Fprintf(w, "linkability falls with protection: %v; accuracy falls with it: %v — the cited reputation/privacy trade-off\n",

@@ -9,18 +9,6 @@ import (
 	"repro/trustnet"
 )
 
-func baseMix(malicious float64) trustnet.Mix {
-	return trustnet.Mix{
-		Fractions: map[trustnet.Class]float64{
-			trustnet.Honest:    1 - malicious,
-			trustnet.Malicious: malicious,
-		},
-		// The pre-trusted set {0,1,2} is known-good (network founders),
-		// matching EigenTrust's deployment assumption.
-		ForceHonest: []int{0, 1, 2},
-	}
-}
-
 func (p params) peers(full int) int {
 	if p.quick {
 		return full / 2
@@ -39,61 +27,52 @@ func (p params) epochs(full int) int {
 	return full
 }
 
-// shardOpt returns the engine option applying the -shards flag (clamped to
-// >= 1 so zero-valued params, e.g. from tests, stay valid).
-func (p params) shardOpt() trustnet.Option {
-	k := p.shards
-	if k < 1 {
-		k = 1
-	}
-	return trustnet.WithShards(k)
-}
-
-// scenario is the shared option template of the experiments: the standard
+// scenario is the shared base Scenario of the experiments: the standard
 // population on the standard mechanism at the standard recompute cadence.
-func scenario(p params, malicious float64, n int) []trustnet.Option {
-	return []trustnet.Option{
-		trustnet.WithPeers(n),
-		trustnet.WithRNGSeed(p.seed),
-		trustnet.WithMix(baseMix(malicious)),
-		trustnet.WithReputationMechanism(eigenFactory()),
-		trustnet.WithRecomputeEvery(2),
-		p.shardOpt(),
+// Every experiment expands it through a Sweep instead of hand-rolling run
+// loops.
+func scenario(p params, malicious float64, n int) trustnet.Scenario {
+	shards := p.shards
+	if shards < 1 {
+		shards = 1
+	}
+	return trustnet.Scenario{
+		Peers: n,
+		Seed:  p.seed,
+		// The pre-trusted set {0,1,2} is known-good (network founders),
+		// matching EigenTrust's deployment assumption.
+		Mix:            trustnet.MixOf(map[string]float64{"malicious": malicious}, 0, 1, 2),
+		Mechanism:      trustnet.MechanismSpec{Kind: "eigentrust", Pretrusted: []int{0, 1, 2}},
+		RecomputeEvery: 2,
+		Shards:         shards,
 	}
 }
 
-func newEngine(p params, coupled bool, malicious float64, n int) (*trustnet.Engine, error) {
-	opts := append(scenario(p, malicious, n),
-		trustnet.WithPrivacyPolicy(trustnet.PrivacyPolicy{Disclosure: 0.8}),
-		trustnet.WithCoupling(coupled),
-		trustnet.WithEpochRounds(8),
-	)
-	return trustnet.New(opts...)
+// coupledScenario is the base for the §3 coupled-dynamics experiments.
+func coupledScenario(p params, malicious float64, n int) trustnet.Scenario {
+	sc := scenario(p, malicious, n)
+	sc.Privacy = &trustnet.PrivacyPolicy{Disclosure: 0.8}
+	sc.Coupled = true
+	sc.EpochRounds = 8
+	return sc
 }
 
 // runE1 reproduces Figure 1: with the §3 couplings enabled, trust,
 // satisfaction and the coupling variables co-evolve toward a fixed point;
-// with couplings disabled they stay pinned at their bases.
+// with couplings disabled they stay pinned at their bases. The on/off
+// contrast is a one-axis sweep.
 func runE1(w io.Writer, p params) error {
 	n := p.peers(200)
 	epochs := p.epochs(12)
-	coupled, err := newEngine(p, true, 0.3, n)
+	res, err := trustnet.NewExperiment(coupledScenario(p, 0.3, n)).
+		Vary("coupling", 1, 0).
+		Epochs(epochs).
+		Run(context.Background())
 	if err != nil {
 		return err
 	}
-	decoupled, err := newEngine(p, false, 0.3, n)
-	if err != nil {
-		return err
-	}
-	ctx := context.Background()
-	hc, err := coupled.Run(ctx, epochs)
-	if err != nil {
-		return err
-	}
-	hd, err := decoupled.Run(ctx, epochs)
-	if err != nil {
-		return err
-	}
+	hc := res.At(0).Runs[0].History
+	hd := res.At(1).Runs[0].History
 	tab := trustnet.NewTable("E1: coupled vs decoupled dynamics (200 peers, 30% malicious)",
 		"epoch", "trust(c)", "sat(c)", "rep(c)", "priv(c)", "disclose(c)", "honesty(c)",
 		"trust(d)", "disclose(d)")
@@ -110,7 +89,8 @@ func runE1(w io.Writer, p params) error {
 
 // runE2 verifies §3's first claim with the noise-free iterated map: mutual
 // reinforcement converges monotonically to a single fixed point from any
-// initial trust level.
+// initial trust level. (Closed-form claim check — no engine runs, so no
+// sweep.)
 func runE2(w io.Writer, p params) error {
 	cfg := trustnet.MapConfig{Reputation: 0.8, Privacy: 0.8}
 	tab := trustnet.NewTable("E2: trust<->satisfaction iterated map (R=0.8, P=0.8)",
@@ -140,7 +120,7 @@ func runE2(w io.Writer, p params) error {
 
 // runE3 sweeps the reputation mechanism's power and reads off the §3 claims
 // 2+3: more power ⇒ more trust ⇒ more satisfaction and more honest
-// contribution.
+// contribution. (Closed-form claim check on the iterated map.)
 func runE3(w io.Writer, p params) error {
 	tab := trustnet.NewTable("E3: forced reputation power -> fixed-point trust, satisfaction, honesty",
 		"power R", "trust*", "satisfaction*", "honesty*")
@@ -174,32 +154,31 @@ func runE3(w io.Writer, p params) error {
 
 // runE4 reproduces §3's fourth claim: with 70% of the population
 // untrustworthy, an efficient mechanism yields LOW system trust while
-// contribution (disclosure) continues.
+// contribution (disclosure) continues. The two populations are one
+// malicious-fraction axis.
 func runE4(w io.Writer, p params) error {
 	n := p.peers(200)
 	epochs := p.epochs(12)
-	rows := []struct {
-		label     string
-		malicious float64
-	}{
-		{"10% malicious (healthy)", 0.1},
-		{"70% malicious (majority untrustworthy)", 0.7},
+	labels := map[float64]string{
+		0.1: "10% malicious (healthy)",
+		0.7: "70% malicious (majority untrustworthy)",
+	}
+	res, err := trustnet.NewExperiment(coupledScenario(p, 0.3, n)).
+		Vary("malicious", 0.1, 0.7).
+		Epochs(epochs).
+		Run(context.Background())
+	if err != nil {
+		return err
 	}
 	tab := trustnet.NewTable("E4: system trust under honest vs untrustworthy majority",
 		"population", "trust", "satisfaction", "rep facet", "community", "disclosure", "bad-rate")
 	var healthyTrust, hostileTrust, hostileDisc float64
-	for _, r := range rows {
-		eng, err := newEngine(p, true, r.malicious, n)
-		if err != nil {
-			return err
-		}
-		hist, err := eng.Run(context.Background(), epochs)
-		if err != nil {
-			return err
-		}
+	for _, cell := range res.Cells {
+		malicious := cell.Coord.Get("malicious")
+		hist := cell.Runs[0].History
 		last := hist[len(hist)-1]
-		tab.AddRow(r.label, last.Trust, last.Satisfaction, last.Reputation, last.Community, last.Disclosure, last.BadRate)
-		if r.malicious > 0.5 {
+		tab.AddRow(labels[malicious], last.Trust, last.Satisfaction, last.Reputation, last.Community, last.Disclosure, last.BadRate)
+		if malicious > 0.5 {
 			hostileTrust, hostileDisc = last.Trust, last.Disclosure
 		} else {
 			healthyTrust = last.Trust
@@ -214,7 +193,8 @@ func runE4(w io.Writer, p params) error {
 // runE5 reproduces Figure 2 (right): sweeping the quantity of shared
 // information δ, privacy satisfaction falls while reputation power rises
 // (the antinomic impact), and distinct settings reach the same global
-// satisfaction.
+// satisfaction. The disclosure axis × seed replications are one sweep; the
+// curves read off each cell's cross-seed means.
 func runE5(w io.Writer, p params) error {
 	n := p.peers(200)
 	rounds := 40
@@ -225,33 +205,30 @@ func runE5(w io.Writer, p params) error {
 	if p.quick {
 		seeds = seeds[:2]
 	}
+	base := scenario(p, 0.3, n)
+	base.EpochRounds = rounds
+	base.Epochs = 1
+	disclosures := make([]float64, 0, 11)
+	for i := 0; i <= 10; i++ {
+		disclosures = append(disclosures, float64(i)/10)
+	}
+	res, err := trustnet.NewExperiment(base).
+		Vary("disclosure", disclosures...).
+		SeedList(seeds...).
+		Run(context.Background())
+	if err != nil {
+		return err
+	}
 	var priv, rep, sat, trust trustnet.Series
 	priv.Name, rep.Name, sat.Name, trust.Name = "privacy", "rep-power", "global-sat", "trust"
 	var sats []float64
-	for i := 0; i <= 10; i++ {
-		d := float64(i) / 10
-		var sP, sR, sS, sT trustnet.Stream
-		for _, seed := range seeds {
-			sp := p
-			sp.seed = seed
-			cfg := trustnet.ExploreConfig{
-				Scenario: scenario(sp, 0.3, n),
-				Rounds:   rounds,
-			}
-			pt, err := trustnet.EvaluateSetting(cfg, trustnet.Setting{Disclosure: d})
-			if err != nil {
-				return err
-			}
-			sP.Add(pt.Global.Privacy)
-			sR.Add(pt.Global.Reputation)
-			sS.Add(pt.Global.Satisfaction)
-			sT.Add(pt.Trust)
-		}
-		priv.Add(d, sP.Mean())
-		rep.Add(d, sR.Mean())
-		sat.Add(d, sS.Mean())
-		trust.Add(d, sT.Mean())
-		sats = append(sats, sS.Mean())
+	for _, cell := range res.Cells {
+		d := cell.Coord.Get("disclosure")
+		priv.Add(d, cell.Privacy.Mean)
+		rep.Add(d, cell.Reputation.Mean)
+		sat.Add(d, cell.Satisfaction.Mean)
+		trust.Add(d, cell.Trust.Mean)
+		sats = append(sats, cell.Satisfaction.Mean)
 	}
 	trustnet.RenderSeries(w, "E5: disclosure sweep (Fig.2 right)", "disclosure", &priv, &rep, &sat, &trust)
 	fmt.Fprintf(w, "privacy monotone down: %v; reputation power monotone up: %v\n",

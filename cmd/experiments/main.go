@@ -5,6 +5,13 @@
 //
 //	experiments [-run E1,E5,...|all] [-quick] [-seed N]
 //
+// Every simulation experiment is expressed as a declarative
+// trustnet.Scenario expanded by a trustnet.Experiment sweep (axes ×
+// seed replications on a bounded worker pool) — there are no hand-rolled
+// replication or grid loops; the tables read off aggregated SweepResults.
+// (E2/E3 check the closed-form iterated map and E9 drives the privacy
+// service directly — no run matrices.)
+//
 // Each experiment prints fixed-width tables; EXPERIMENTS.md records the
 // paper-vs-measured comparison for the committed seeds.
 package main

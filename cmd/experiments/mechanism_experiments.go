@@ -8,13 +8,15 @@ import (
 	"repro/trustnet"
 )
 
-func eigenFactory() trustnet.MechanismFactory {
-	return trustnet.EigenTrust(trustnet.EigenTrustConfig{Pretrusted: []int{0, 1, 2}})
+// eigenSpec is the standard EigenTrust spec with the pre-trusted founders.
+func eigenSpec() trustnet.MechanismSpec {
+	return trustnet.MechanismSpec{Kind: "eigentrust", Pretrusted: []int{0, 1, 2}}
 }
 
 // runE6 reproduces Figure 2 (left): the grid over the two settable axes is
 // classified into the intersection region "Area A" where all three facet
-// satisfactions hold at once; the best tradeoff lives inside it.
+// satisfactions hold at once; the best tradeoff lives inside it. The grid
+// is a sweep under the hood (Explore).
 func runE6(w io.Writer, p params) error {
 	n := p.peers(120)
 	grid := 5
@@ -52,8 +54,9 @@ func runE6(w io.Writer, p params) error {
 
 // runE7 compares the paper's cited mechanism space — EigenTrust, TrustMe,
 // PowerTrust — plus the no-reputation baseline across malicious fractions:
-// the bad-service rate, the mechanism's rank accuracy, convergence rounds,
-// and TrustMe's messaging overhead.
+// one (malicious × mechanism) sweep. The bad-service table, the rank
+// accuracy / cost table at 40% malicious, and the PowerTrust look-ahead
+// ablation all read off sweep results.
 func runE7(w io.Writer, p params) error {
 	n := p.peers(200)
 	rounds := 60
@@ -61,44 +64,50 @@ func runE7(w io.Writer, p params) error {
 		rounds = 30
 	}
 	fractions := []float64{0, 0.2, 0.4, 0.6, 0.8}
-	type mkMech struct {
-		name    string
-		factory trustnet.MechanismFactory
+	mechs := []trustnet.MechanismSpec{
+		{Kind: "none"},
+		eigenSpec(),
+		{Kind: "powertrust"},
+		{Kind: "trustme"},
 	}
-	mechs := []mkMech{
-		{"none", trustnet.NoReputation()},
-		{"eigentrust", eigenFactory()},
-		{"powertrust", trustnet.PowerTrust(trustnet.PowerTrustConfig{})},
-		{"trustme", trustnet.TrustMe(trustnet.TrustMeConfig{})},
+	base := scenario(p, 0.3, n)
+	base.EpochRounds = rounds
+	base.Epochs = 1
+	res, err := trustnet.NewExperiment(base).
+		Vary("malicious", fractions...).
+		VaryMechanism(mechs...).
+		Observe(func(eng *trustnet.Engine) map[string]float64 {
+			out := map[string]float64{}
+			// Read the message counter before the convergence probe: the
+			// probe submits a report of its own, which must not count
+			// toward the run's messaging overhead.
+			if tm, ok := eng.Mechanism().(*trustnet.TrustMeMechanism); ok {
+				out["messages"] = float64(tm.Messages)
+			}
+			out["converge"] = float64(convergenceRounds(eng.Mechanism(), eng.Peers()))
+			return out
+		}).
+		Run(context.Background())
+	if err != nil {
+		return err
 	}
 	tab := trustnet.NewTable(
 		fmt.Sprintf("E7: bad-service rate by mechanism and malicious fraction (%d peers, %d rounds)", n, rounds),
 		"malicious", "none", "eigentrust", "powertrust", "trustme")
 	taus := trustnet.NewTable("E7b: rank accuracy (tau) and cost at 40% malicious",
 		"mechanism", "tau", "converge-rounds", "extra-messages")
-	for _, frac := range fractions {
+	for fi, frac := range fractions {
 		row := []any{frac}
-		for _, mk := range mechs {
-			eng, err := trustnet.New(
-				trustnet.WithPeers(n),
-				trustnet.WithRNGSeed(p.seed),
-				trustnet.WithMix(baseMix(frac)),
-				trustnet.WithReputationMechanism(mk.factory),
-				trustnet.WithRecomputeEvery(2),
-				p.shardOpt(),
-			)
-			if err != nil {
-				return err
-			}
-			eng.RunRounds(rounds)
-			s := eng.Summary()
-			row = append(row, s.RecentBadRate)
+		for mi := range mechs {
+			cell := res.At(fi, mi)
+			run := cell.Runs[0]
+			row = append(row, run.Summary.RecentBadRate)
 			if frac == 0.4 {
 				var msgs int64
-				if tm, ok := eng.Mechanism().(*trustnet.TrustMeMechanism); ok {
-					msgs = tm.Messages
+				if v, ok := run.Extra["messages"]; ok {
+					msgs = int64(v)
 				}
-				taus.AddRow(mk.name, s.Tau, convergenceRounds(eng.Mechanism(), n), msgs)
+				taus.AddRow(cell.Coord[1].Label, run.Summary.Tau, int(run.Extra["converge"]), msgs)
 			}
 		}
 		tab.AddRow(row...)
@@ -107,31 +116,25 @@ func runE7(w io.Writer, p params) error {
 	taus.Render(w)
 
 	// Convergence ablation: PowerTrust's look-ahead random walk vs the
-	// plain walk on the same feedback.
-	la, err := trustnet.NewPowerTrust(trustnet.PowerTrustConfig{N: 50, Epsilon: 1e-10})
+	// plain walk on the same feedback — a two-point mechanism axis whose
+	// driver counts the from-dirty recompute.
+	abl := scenario(p, 0.3, 50)
+	abl.RecomputeEvery = 1000 // never recompute during the run: Compute() below starts dirty
+	ablRes, err := trustnet.NewExperiment(abl).
+		VaryMechanism(
+			trustnet.MechanismSpec{Kind: "powertrust", Epsilon: 1e-10},
+			trustnet.MechanismSpec{Kind: "powertrust-plain", Epsilon: 1e-10},
+		).
+		Drive(func(_ context.Context, eng *trustnet.Engine, _ trustnet.Scenario) (map[string]float64, error) {
+			eng.RunRounds(20)
+			return map[string]float64{"converge": float64(eng.Mechanism().Compute())}, nil
+		}).
+		Run(context.Background())
 	if err != nil {
 		return err
-	}
-	plain, err := trustnet.NewPowerTrustPlain(trustnet.PowerTrustConfig{N: 50, Epsilon: 1e-10})
-	if err != nil {
-		return err
-	}
-	for _, m := range []trustnet.Mechanism{la, plain} {
-		eng, err := trustnet.New(
-			trustnet.WithPeers(50),
-			trustnet.WithRNGSeed(p.seed),
-			trustnet.WithMix(baseMix(0.3)),
-			trustnet.WithReputationMechanism(trustnet.UseMechanism(m)),
-			trustnet.WithRecomputeEvery(1000),
-			p.shardOpt(),
-		)
-		if err != nil {
-			return err
-		}
-		eng.RunRounds(20)
 	}
 	fmt.Fprintf(w, "PowerTrust LRW convergence: look-ahead %d rounds vs plain %d rounds\n",
-		la.Compute(), plain.Compute())
+		int(ablRes.At(0).Runs[0].Extra["converge"]), int(ablRes.At(1).Runs[0].Extra["converge"]))
 	return nil
 }
 
@@ -143,54 +146,46 @@ func convergenceRounds(m trustnet.Mechanism, n int) int {
 }
 
 // runE8 probes the adversary taxonomy of §2.2: each class at 30% of the
-// population, under EigenTrust and PowerTrust, plus the whitewash-reset
-// contrast between neutral-default (TrustMe) and zero-default (EigenTrust)
-// scores.
+// population, under EigenTrust and PowerTrust — a one-hot class-fraction
+// axis × a mechanism axis — plus the whitewash-reset contrast between
+// neutral-default (TrustMe) and zero-default (EigenTrust) scores.
 func runE8(w io.Writer, p params) error {
 	n := p.peers(150)
 	rounds := 50
 	if p.quick {
 		rounds = 25
 	}
-	classes := []trustnet.Class{
-		trustnet.Malicious, trustnet.Traitor, trustnet.Slanderer, trustnet.Colluder,
+	classes := []string{"malicious", "traitor", "slanderer", "colluder"}
+	oneHot := make([][]float64, len(classes))
+	for i := range classes {
+		tuple := make([]float64, len(classes))
+		tuple[i] = 0.3
+		oneHot[i] = tuple
+	}
+	base := scenario(p, 0, n)
+	base.EpochRounds = rounds
+	base.Epochs = 1
+	res, err := trustnet.NewExperiment(base).
+		VaryTuples(classes, oneHot...).
+		VaryMechanism(eigenSpec(), trustnet.MechanismSpec{Kind: "powertrust"}).
+		Run(context.Background())
+	if err != nil {
+		return err
 	}
 	tab := trustnet.NewTable("E8: damage by adversary class at 30% (higher tau / lower bad-rate = more robust)",
 		"class", "eigentrust tau", "eigentrust bad", "powertrust tau", "powertrust bad")
-	for _, cls := range classes {
-		mix := trustnet.Mix{
-			Fractions: map[trustnet.Class]float64{
-				trustnet.Honest: 0.7,
-				cls:             0.3,
-			},
-			ForceHonest: []int{0, 1, 2},
-		}
-		row := []any{cls.String()}
-		factories := []trustnet.MechanismFactory{
-			eigenFactory(),
-			trustnet.PowerTrust(trustnet.PowerTrustConfig{}),
-		}
-		for _, factory := range factories {
-			eng, err := trustnet.New(
-				trustnet.WithPeers(n),
-				trustnet.WithRNGSeed(p.seed),
-				trustnet.WithMix(mix),
-				trustnet.WithReputationMechanism(factory),
-				trustnet.WithRecomputeEvery(2),
-				p.shardOpt(),
-			)
-			if err != nil {
-				return err
-			}
-			eng.RunRounds(rounds)
-			s := eng.Summary()
+	for ci, cls := range classes {
+		row := []any{cls}
+		for mi := 0; mi < 2; mi++ {
+			s := res.At(ci, mi).Runs[0].Summary
 			row = append(row, s.Tau, s.RecentBadRate)
 		}
 		tab.AddRow(row...)
 	}
 	tab.Render(w)
 
-	// Whitewash contrast: a badly-rated peer resets its identity.
+	// Whitewash contrast: a badly-rated peer resets its identity. This is
+	// a hand-fed report script on standalone mechanisms, not a run matrix.
 	et, err := trustnet.NewEigenTrust(trustnet.EigenTrustConfig{N: 20, Pretrusted: []int{1, 2}})
 	if err != nil {
 		return err

@@ -98,7 +98,8 @@ func runE9(w io.Writer, p params) error {
 // runE10 runs §4's optimizer: per applicative context, the max-trust
 // setting under that context's weights and constraints — "the same global
 // satisfaction can be reached by different settings, which depend on the
-// applicative context requirements".
+// applicative context requirements". Each Optimize call is sweep-backed
+// (grid sweep + hill-climb batches).
 func runE10(w io.Writer, p params) error {
 	n := p.peers(120)
 	rounds := 30

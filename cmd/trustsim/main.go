@@ -6,6 +6,13 @@
 //
 //	trustsim -peers 200 -malicious 0.3 -mechanism eigentrust -disclosure 0.8 -epochs 10
 //
+// Scenarios also run by name (the registered built-ins: quickstart,
+// filesharing, socialfeed, churnstorm, tradeoff) or from a declarative
+// JSON spec file, schedule and all:
+//
+//	trustsim -scenario churnstorm
+//	trustsim -scenario my-study.json
+//
 // Long runs can be checkpointed and resumed without perturbing a single
 // draw — the resumed trajectory is bit-for-bit the uninterrupted one:
 //
@@ -35,6 +42,8 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("trustsim", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
+		scenarioRef = fs.String("scenario", "", "run a registered scenario by name, or a JSON spec file (overrides the flag-built scenario)")
+
 		peers      = fs.Int("peers", 200, "population size")
 		malicious  = fs.Float64("malicious", 0.3, "malicious fraction [0,1]")
 		selfish    = fs.Float64("selfish", 0, "selfish free-rider fraction [0,1]")
@@ -52,6 +61,9 @@ func run(args []string, w io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scenarioRef != "" {
+		return runScenario(*scenarioRef, *shards, w)
 	}
 	if *malicious+*selfish > 1 {
 		return fmt.Errorf("malicious + selfish fractions exceed 1")
@@ -131,6 +143,41 @@ func run(args []string, w io.Writer) error {
 	}
 	tab.Render(w)
 
+	fmt.Fprintf(w, "\nfinal global trust: %.4f\n", eng.GlobalTrust())
+	fmt.Fprintf(w, "system trusted (median >= 0.5): %v; strictly trusted (p10 >= 0.5): %v\n",
+		eng.SystemTrusted(0.5, 0.5), eng.SystemTrusted(0.5, 0.1))
+	sum := eng.Summary()
+	fmt.Fprintf(w, "reputation rank accuracy (tau): %.4f; feedback share rate: %.4f\n", sum.Tau, sum.ShareRate)
+	return nil
+}
+
+// runScenario resolves a declarative scenario (registered name or JSON
+// spec file), runs it end to end — schedule included — and prints the same
+// trajectory report as a flag-built run. Shards only reschedule work, so
+// the -shards flag may be applied without touching the result.
+func runScenario(ref string, shards int, w io.Writer) error {
+	sc, err := trustnet.LoadScenario(ref)
+	if err != nil {
+		return err
+	}
+	if sc.Shards == 0 && shards > 0 {
+		sc.Shards = shards
+	}
+	eng, hist, err := sc.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("trustsim scenario %q: %d peers, %s, %d epochs",
+		sc.Name, eng.Peers(), eng.Mechanism().Name(), sc.Epochs)
+	if sc.Description != "" {
+		fmt.Fprintf(w, "%s\n", sc.Description)
+	}
+	tab := trustnet.NewTable(title,
+		"epoch", "trust", "satisfaction", "rep-power", "privacy", "disclosure", "honesty", "bad-rate")
+	for _, e := range hist {
+		tab.AddRow(e.Epoch, e.Trust, e.Satisfaction, e.Reputation, e.Privacy, e.Disclosure, e.Honesty, e.BadRate)
+	}
+	tab.Render(w)
 	fmt.Fprintf(w, "\nfinal global trust: %.4f\n", eng.GlobalTrust())
 	fmt.Fprintf(w, "system trusted (median >= 0.5): %v; strictly trusted (p10 >= 0.5): %v\n",
 		eng.SystemTrusted(0.5, 0.5), eng.SystemTrusted(0.5, 0.1))

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/trustnet"
 )
 
 func TestRunDefaultsSmall(t *testing.T) {
@@ -107,5 +111,64 @@ func TestRunWithGateAndSelfish(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "system trusted") {
 		t.Fatal("verdict line missing")
+	}
+}
+
+// TestScenarioFlag runs every registered scenario by name, twice, and
+// demands byte-identical output — the acceptance bar for declarative
+// scenarios: each built-in runs deterministically from its spec.
+func TestScenarioFlag(t *testing.T) {
+	for _, name := range trustnet.ScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var a, b strings.Builder
+			if err := run([]string{"-scenario", name}, &a); err != nil {
+				t.Fatal(err)
+			}
+			if err := run([]string{"-scenario", name}, &b); err != nil {
+				t.Fatal(err)
+			}
+			if a.String() != b.String() {
+				t.Fatalf("scenario %q is not deterministic", name)
+			}
+			if !strings.Contains(a.String(), "final global trust") {
+				t.Fatalf("scenario %q output missing summary:\n%s", name, a.String())
+			}
+		})
+	}
+}
+
+// TestScenarioFlagFromFile: a JSON spec file runs like a registered name,
+// and the -shards flag never changes the trajectory.
+func TestScenarioFlagFromFile(t *testing.T) {
+	sc := trustnet.MustScenario("churnstorm")
+	sc.Epochs = 4
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "storm.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromFile, sharded strings.Builder
+	if err := run([]string{"-scenario", path}, &fromFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path, "-shards", "4"}, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.String() != sharded.String() {
+		t.Fatal("-shards changed a scenario run's output")
+	}
+}
+
+// TestScenarioFlagUnknown: an unresolvable reference names the registered
+// scenarios instead of running defaults.
+func TestScenarioFlagUnknown(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-scenario", "no-such-thing"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "quickstart") {
+		t.Fatalf("err = %v, want an error listing registered scenarios", err)
 	}
 }

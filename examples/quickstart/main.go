@@ -1,10 +1,16 @@
 // Quickstart: build a small decentralized social network, run interactions
 // under a reputation mechanism, and read out the three facets — satisfaction,
 // reputation power, privacy — and the resulting trust towards the system.
+//
+// The whole setup is the registered "quickstart" Scenario — a declarative,
+// JSON-serializable spec — so the same run is also available as
+// `trustsim -scenario quickstart`, and sweeping it only takes
+// trustnet.NewExperiment(sc).Vary(...).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 
@@ -12,37 +18,23 @@ import (
 )
 
 func main() {
-	const peers = 100
-
-	// One engine call wires the whole scenario: a population that is 70%
-	// honest and 30% malicious on a Barabási–Albert friendship graph,
+	// One registered spec wires the whole scenario: a population that is
+	// 70% honest and 30% malicious on a Barabási–Albert friendship graph,
 	// EigenTrust with three pre-trusted founders, peers sharing 80% of
 	// their feedback, and the paper's §3 feedback loops enabled.
-	eng, err := trustnet.New(
-		trustnet.WithPeers(peers),
-		trustnet.WithRNGSeed(42),
-		trustnet.WithMix(trustnet.Mix{
-			Fractions: map[trustnet.Class]float64{
-				trustnet.Honest:    0.7,
-				trustnet.Malicious: 0.3,
-			},
-			ForceHonest: []int{0, 1, 2},
-		}),
-		trustnet.WithReputationMechanism(trustnet.EigenTrust(trustnet.EigenTrustConfig{
-			Pretrusted: []int{0, 1, 2},
-		})),
-		trustnet.WithPrivacyPolicy(trustnet.PrivacyPolicy{Disclosure: 0.8}),
-		trustnet.WithRecomputeEvery(2),
-		trustnet.WithCoupling(true),
-		trustnet.WithEpochRounds(8),
-	)
+	sc := trustnet.MustScenario("quickstart")
+
+	// Show the spec itself: scenarios are data, and this JSON round-trips
+	// back into an identical run.
+	spec, err := json.MarshalIndent(sc, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("running scenario %q:\n%s\n\n", sc.Name, spec)
 
 	// Run the coupled dynamics: facets are measured each epoch, trust is
 	// updated, and trust feeds back into disclosure and honesty.
-	history, err := eng.Run(context.Background(), 6)
+	eng, history, err := sc.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,4 +58,13 @@ func main() {
 		}
 		fmt.Printf("trust under %-20s context: %.4f\n", ctx, t)
 	}
+
+	// Replications are a one-liner on the same spec: five seeds, and the
+	// cross-seed mean ± stddev of the final epoch's trust.
+	res, err := trustnet.NewExperiment(sc).Seeds(5).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := res.Cells[0].Final
+	fmt.Printf("\nacross 5 seeds: final trust %.4f ± %.4f\n", final.Trust.Mean, final.Trust.Std)
 }

@@ -3,6 +3,10 @@
 // rises, and the same global satisfaction is reachable at different
 // settings. Then ask the optimizer for the best setting under two different
 // applicative contexts.
+//
+// The disclosure sweep is a declarative Experiment over the registered
+// "tradeoff" Scenario — no hand-rolled run loop; the same spec is runnable
+// as `trustsim -scenario tradeoff`.
 package main
 
 import (
@@ -15,46 +19,45 @@ import (
 )
 
 func main() {
-	cfg := trustnet.ExploreConfig{
-		Scenario: []trustnet.Option{
-			trustnet.WithPeers(100),
-			trustnet.WithRNGSeed(11),
-			trustnet.WithMix(trustnet.Mix{
-				Fractions: map[trustnet.Class]float64{
-					trustnet.Honest:    0.7,
-					trustnet.Malicious: 0.3,
-				},
-				ForceHonest: []int{0, 1, 2},
-			}),
-			trustnet.WithReputationMechanism(trustnet.EigenTrust(trustnet.EigenTrustConfig{
-				Pretrusted: []int{0, 1, 2},
-			})),
-			trustnet.WithRecomputeEvery(2),
-		},
-		Rounds: 30,
+	base := trustnet.MustScenario("tradeoff")
+
+	disclosures := make([]float64, 0, 9)
+	for i := 0; i <= 8; i++ {
+		disclosures = append(disclosures, float64(i)/8)
+	}
+	res, err := trustnet.NewExperiment(base).
+		Vary("disclosure", disclosures...).
+		Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var priv, rep, sat trustnet.Series
 	priv.Name, rep.Name, sat.Name = "privacy", "reputation-power", "global-satisfaction"
-	for i := 0; i <= 8; i++ {
-		d := float64(i) / 8
-		pt, err := trustnet.EvaluateSetting(cfg, trustnet.Setting{Disclosure: d})
-		if err != nil {
-			log.Fatal(err)
-		}
-		priv.Add(d, pt.Global.Privacy)
-		rep.Add(d, pt.Global.Reputation)
-		sat.Add(d, pt.Global.Satisfaction)
+	for _, cell := range res.Cells {
+		d := cell.Coord.Get("disclosure")
+		priv.Add(d, cell.Privacy.Mean)
+		rep.Add(d, cell.Reputation.Mean)
+		sat.Add(d, cell.Satisfaction.Mean)
 	}
 	trustnet.RenderSeries(os.Stdout, "sharing more helps reputation, costs privacy (Fig. 2 right)",
 		"disclosure", &priv, &rep, &sat)
 
-	// The optimizer finds different best settings for different contexts.
-	cfg.GridSize = 4
+	// The optimizer finds different best settings for different contexts;
+	// under the hood each Optimize is a grid sweep plus hill-climb batches
+	// over the same scenario.
+	explore := base
+	explore.Epochs = 0
+	explore.EpochRounds = 0
+	explore.Privacy = nil // the explorer owns the (disclosure, gate) axes
 	for _, ctx := range []trustnet.AppContext{trustnet.PrivacyCritical, trustnet.PerformanceCritical} {
-		c := cfg
-		c.Weights = trustnet.ContextWeights(ctx)
-		pt, err := trustnet.Optimize(context.Background(), c, trustnet.Constraints{})
+		cfg := trustnet.ExploreConfig{
+			Scenario: explore,
+			Rounds:   30,
+			GridSize: 4,
+			Weights:  trustnet.ContextWeights(ctx),
+		}
+		pt, err := trustnet.Optimize(context.Background(), cfg, trustnet.Constraints{})
 		if err != nil {
 			log.Fatal(err)
 		}

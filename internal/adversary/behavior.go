@@ -46,6 +46,37 @@ func (c Class) String() string {
 	return fmt.Sprintf("class(%d)", int(c))
 }
 
+// ClassNamed resolves a lowercase class name ("honest", "malicious", ...)
+// back to its Class; ok is false for unknown names.
+func ClassNamed(name string) (Class, bool) {
+	for c, s := range classNames {
+		if s == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalText encodes the class as its lowercase name, so JSON scenario
+// specs read "malicious" instead of a magic integer.
+func (c Class) MarshalText() ([]byte, error) {
+	s, ok := classNames[c]
+	if !ok {
+		return nil, fmt.Errorf("adversary: unknown class %d", int(c))
+	}
+	return []byte(s), nil
+}
+
+// UnmarshalText decodes a lowercase class name.
+func (c *Class) UnmarshalText(text []byte) error {
+	cls, ok := ClassNamed(string(text))
+	if !ok {
+		return fmt.Errorf("adversary: unknown class name %q", string(text))
+	}
+	*c = cls
+	return nil
+}
+
 // Behavior is one peer's behavioural policy.
 type Behavior interface {
 	// Class identifies the behaviour model.

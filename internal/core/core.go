@@ -17,13 +17,13 @@ import (
 // Facets holds one user's three facet values, each in [0,1].
 type Facets struct {
 	// Satisfaction is the long-run satisfaction of §2.1.
-	Satisfaction float64
+	Satisfaction float64 `json:"satisfaction"`
 	// Reputation is the perceived power of the reputation mechanism
 	// ("reliability, efficiency and most of all, consistency with the
 	// reality", §4).
-	Reputation float64
+	Reputation float64 `json:"reputation"`
 	// Privacy is the satisfaction in terms of privacy guarantees (§4).
-	Privacy float64
+	Privacy float64 `json:"privacy"`
 }
 
 // Valid reports whether all facets are within [0,1].
@@ -39,9 +39,9 @@ func (f Facets) Valid() bool {
 // Weights weighs the facets in the combined metric. Weights must be
 // non-negative and not all zero.
 type Weights struct {
-	Satisfaction float64
-	Reputation   float64
-	Privacy      float64
+	Satisfaction float64 `json:"satisfaction"`
+	Reputation   float64 `json:"reputation"`
+	Privacy      float64 `json:"privacy"`
 }
 
 // DefaultWeights balances the three facets equally.

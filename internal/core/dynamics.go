@@ -62,20 +62,23 @@ func (c DynamicsConfig) withDefaults() DynamicsConfig {
 
 // EpochStats records the coupled system's state after one epoch.
 type EpochStats struct {
-	Epoch int
+	Epoch int `json:"epoch"`
 	// Trust is the mean trust towards the system.
-	Trust float64
+	Trust float64 `json:"trust"`
 	// Satisfaction, Reputation, Privacy are the mean facet values.
-	Satisfaction, Reputation, Privacy float64
+	Satisfaction float64 `json:"satisfaction"`
+	Reputation   float64 `json:"reputation"`
+	Privacy      float64 `json:"privacy"`
 	// Disclosure and Honesty are the mean realized coupling variables.
-	Disclosure, Honesty float64
+	Disclosure float64 `json:"disclosure"`
+	Honesty    float64 `json:"honesty"`
 	// BadRate is the epoch's bad-service rate.
-	BadRate float64
+	BadRate float64 `json:"bad_rate"`
 	// Tau is the current reputation/ground-truth rank correlation.
-	Tau float64
+	Tau float64 `json:"tau"`
 	// Community is the mechanism's conclusion: the fraction of rated peers
 	// it considers trustworthy.
-	Community float64
+	Community float64 `json:"community"`
 }
 
 // Dynamics runs the coupled three-facet system: each epoch measures the

@@ -1,11 +1,7 @@
 package core
 
 import (
-	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/reputation"
 	"repro/internal/workload"
@@ -36,7 +32,10 @@ type Point struct {
 // setting gets its own mechanism so settings do not contaminate each other.
 type MechanismFactory func(n int) (reputation.Mechanism, error)
 
-// ExploreConfig configures the tradeoff exploration.
+// ExploreConfig configures single-setting evaluation (EvaluateSetting).
+// The grid explorer and optimizer live in the trustnet facade, built on
+// the Experiment/Sweep orchestrator; this config is the minimal low-level
+// surface the facade's per-point evaluation semantics are defined against.
 type ExploreConfig struct {
 	// Base is the scenario template; its Disclosure and TrustGate fields
 	// are overridden per point.
@@ -44,46 +43,32 @@ type ExploreConfig struct {
 	// Mechanism builds the scoring engine per point (default EigenTrust is
 	// NOT assumed — the factory is required).
 	Mechanism MechanismFactory
-	// Rounds per evaluation (default 30).
+	// Rounds per evaluation (default 30; negative is an error, never a
+	// silent clamp).
 	Rounds int
 	// Weights combine facets into trust (default DefaultWeights).
 	Weights Weights
-	// GridSize is the number of points per axis (default 5).
-	GridSize int
-	// Thresholds define Area A membership: a setting belongs to the
-	// intersection area when every measured global facet reaches its
-	// threshold (default 0.5 each).
-	Thresholds Facets
 	// ExposureScale normalizes ledger exposure (default 50).
 	ExposureScale float64
-	// Workers bounds the pool evaluating grid settings concurrently
-	// (default GOMAXPROCS). Every setting runs a fresh scenario via the
-	// mechanism factory, so evaluations are independent; results are folded
-	// in grid order, keeping the outcome identical for every pool size.
-	Workers int
 }
 
 func (c ExploreConfig) withDefaults() (ExploreConfig, error) {
 	if c.Mechanism == nil {
 		return c, fmt.Errorf("core: explore requires a mechanism factory")
 	}
-	if c.Rounds <= 0 {
+	// Zero means "default"; explicit nonpositive values are configuration
+	// errors, never silently clamped.
+	if c.Rounds < 0 {
+		return c, fmt.Errorf("core: explore rounds must be positive, got %d", c.Rounds)
+	}
+	if c.Rounds == 0 {
 		c.Rounds = 30
 	}
 	if c.Weights == (Weights{}) {
 		c.Weights = DefaultWeights()
 	}
-	if c.GridSize < 2 {
-		c.GridSize = 5
-	}
-	if c.Thresholds == (Facets{}) {
-		c.Thresholds = Facets{Satisfaction: 0.5, Reputation: 0.5, Privacy: 0.5}
-	}
 	if c.ExposureScale == 0 {
 		c.ExposureScale = 50
-	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c, nil
 }
@@ -132,126 +117,6 @@ func EvaluateSetting(cfg ExploreConfig, s Setting) (Point, error) {
 	return Point{Setting: s, Global: g, Trust: trust}, nil
 }
 
-// ExploreResult is the outcome of a grid exploration.
-type ExploreResult struct {
-	// Points is the full grid, disclosure-major then gate.
-	Points []Point
-	// AreaA are the points whose facets all reach the thresholds — the
-	// intersection region of Fig. 2 (left).
-	AreaA []Point
-	// Best is the maximum-trust point over the whole grid.
-	Best Point
-	// BestInAreaA is the maximum-trust point inside Area A (zero Point
-	// when the area is empty).
-	BestInAreaA Point
-	// AreaFraction is |AreaA| / |Points|.
-	AreaFraction float64
-}
-
-// evaluateAll measures the given settings concurrently under the config's
-// bounded worker pool and returns the points in input order. Workers stop
-// picking up settings once ctx is cancelled; the first evaluation error (in
-// input order) wins. Each setting builds a fresh scenario from its own
-// factory call, so the results — folded by index — are identical for every
-// pool size.
-func evaluateAll(ctx context.Context, cfg ExploreConfig, settings []Setting) ([]Point, error) {
-	points := make([]Point, len(settings))
-	errs := make([]error, len(settings))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	var failed atomic.Bool
-	workers := cfg.Workers
-	if workers > len(settings) {
-		workers = len(settings)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range next {
-				points[idx], errs[idx] = EvaluateSetting(cfg, settings[idx])
-				if errs[idx] != nil {
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-feed:
-	for idx := range settings {
-		// Stop dispatching once any evaluation failed: each one runs a
-		// whole fresh scenario, so finishing a doomed sweep is pure waste.
-		if failed.Load() {
-			break
-		}
-		select {
-		case <-ctx.Done():
-			break feed
-		case next <- idx:
-		}
-	}
-	close(next)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for idx, err := range errs {
-		if err != nil {
-			s := settings[idx]
-			return nil, fmt.Errorf("core: explore (%v,%v): %w", s.Disclosure, s.TrustGate, err)
-		}
-	}
-	return points, nil
-}
-
-// Explore sweeps the (disclosure, trust-gate) grid and classifies Area A.
-// Grid settings are evaluated concurrently (ExploreConfig.Workers bounds
-// the pool); ctx cancels the sweep between evaluations.
-func Explore(ctx context.Context, cfg ExploreConfig) (*ExploreResult, error) {
-	cfg, err := cfg.withDefaults()
-	if err != nil {
-		return nil, err
-	}
-	g := cfg.GridSize
-	settings := make([]Setting, 0, g*g)
-	for i := 0; i < g; i++ {
-		for j := 0; j < g; j++ {
-			settings = append(settings, Setting{
-				Disclosure: float64(i) / float64(g-1),
-				TrustGate:  0.9 * float64(j) / float64(g-1),
-			})
-		}
-	}
-	points, err := evaluateAll(ctx, cfg, settings)
-	if err != nil {
-		return nil, err
-	}
-	res := &ExploreResult{Points: points}
-	for _, p := range points {
-		if p.Trust > res.Best.Trust {
-			res.Best = p
-		}
-		if inArea(p.Global, cfg.Thresholds) {
-			res.AreaA = append(res.AreaA, p)
-			if p.Trust > res.BestInAreaA.Trust {
-				res.BestInAreaA = p
-			}
-		}
-	}
-	if len(res.Points) > 0 {
-		res.AreaFraction = float64(len(res.AreaA)) / float64(len(res.Points))
-	}
-	return res, nil
-}
-
-func inArea(f, thresholds Facets) bool {
-	return f.Satisfaction >= thresholds.Satisfaction &&
-		f.Reputation >= thresholds.Reputation &&
-		f.Privacy >= thresholds.Privacy
-}
-
 // Constraints are minimum facet levels an application context imposes (§4:
 // "maximize the users' trust towards the system while respecting the
 // system/application constrains").
@@ -259,77 +124,6 @@ type Constraints struct {
 	MinSatisfaction, MinReputation, MinPrivacy float64
 }
 
-func (c Constraints) satisfiedBy(f Facets) bool {
-	return f.Satisfaction >= c.MinSatisfaction &&
-		f.Reputation >= c.MinReputation &&
-		f.Privacy >= c.MinPrivacy
-}
-
-// ErrInfeasible is returned when no explored setting meets the constraints.
+// ErrInfeasible is returned when no explored setting meets the constraints
+// (the trustnet optimizer surfaces it).
 var ErrInfeasible = fmt.Errorf("core: no setting satisfies the constraints")
-
-// Optimize finds the maximum-trust setting subject to constraints: a coarse
-// grid pass followed by local hill-climbing refinement around the best
-// feasible point, honouring ctx between evaluations.
-func Optimize(ctx context.Context, cfg ExploreConfig, cons Constraints) (Point, error) {
-	cfg, err := cfg.withDefaults()
-	if err != nil {
-		return Point{}, err
-	}
-	res, err := Explore(ctx, cfg)
-	if err != nil {
-		return Point{}, err
-	}
-	best := Point{Trust: -1}
-	for _, p := range res.Points {
-		if cons.satisfiedBy(p.Global) && p.Trust > best.Trust {
-			best = p
-		}
-	}
-	if best.Trust < 0 {
-		return Point{}, ErrInfeasible
-	}
-	// Hill climb with shrinking steps. Each iteration evaluates the whole
-	// neighbour batch of the current best concurrently, then folds the
-	// improvements in fixed direction order — deterministic for every pool
-	// size.
-	step := 1.0 / float64(cfg.GridSize-1)
-	for iter := 0; iter < 4; iter++ {
-		var batch []Setting
-		for _, d := range [][2]float64{{step, 0}, {-step, 0}, {0, step}, {0, -step}} {
-			s := Setting{
-				Disclosure: clampTo(best.Setting.Disclosure+d[0], 0, 1),
-				TrustGate:  clampTo(best.Setting.TrustGate+d[1], 0, 0.9),
-			}
-			if s == best.Setting {
-				continue
-			}
-			batch = append(batch, s)
-		}
-		points, err := evaluateAll(ctx, cfg, batch)
-		if err != nil {
-			return Point{}, err
-		}
-		improved := false
-		for _, p := range points {
-			if cons.satisfiedBy(p.Global) && p.Trust > best.Trust {
-				best = p
-				improved = true
-			}
-		}
-		if !improved {
-			step /= 2
-		}
-	}
-	return best, nil
-}
-
-func clampTo(v, lo, hi float64) float64 {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
-}

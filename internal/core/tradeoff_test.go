@@ -1,8 +1,6 @@
 package core
 
 import (
-	"context"
-	"errors"
 	"testing"
 
 	"repro/internal/adversary"
@@ -25,8 +23,7 @@ func exploreConfig() ExploreConfig {
 		Mechanism: func(n int) (reputation.Mechanism, error) {
 			return eigentrust.New(eigentrust.Config{N: n, Pretrusted: []int{0, 1}})
 		},
-		Rounds:   20,
-		GridSize: 3,
+		Rounds: 20,
 	}
 }
 
@@ -44,14 +41,6 @@ func TestEvaluateSettingBounds(t *testing.T) {
 	}
 	if !p.Global.Valid() || p.Trust < 0 || p.Trust > 1 {
 		t.Fatalf("point = %+v", p)
-	}
-}
-
-func TestExploreRequiresFactory(t *testing.T) {
-	cfg := exploreConfig()
-	cfg.Mechanism = nil
-	if _, err := Explore(context.Background(), cfg); err == nil {
-		t.Fatal("missing factory accepted")
 	}
 }
 
@@ -77,86 +66,12 @@ func TestDisclosureAntinomy(t *testing.T) {
 	}
 }
 
-func TestExploreGridAndAreaA(t *testing.T) {
+// TestEvaluateSettingRequiresFactory: the one low-level evaluation entry
+// point refuses to guess a mechanism.
+func TestEvaluateSettingRequiresFactory(t *testing.T) {
 	cfg := exploreConfig()
-	cfg.Thresholds = Facets{Satisfaction: 0.3, Reputation: 0.3, Privacy: 0.1}
-	res, err := Explore(context.Background(), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res.Points) != 9 {
-		t.Fatalf("grid size = %d", len(res.Points))
-	}
-	if res.Best.Trust <= 0 {
-		t.Fatalf("best point trust = %v", res.Best.Trust)
-	}
-	if len(res.AreaA) == 0 {
-		t.Fatal("Area A empty with generous thresholds")
-	}
-	if res.AreaFraction <= 0 || res.AreaFraction > 1 {
-		t.Fatalf("area fraction = %v", res.AreaFraction)
-	}
-	// Every Area A member meets the thresholds.
-	for _, p := range res.AreaA {
-		if p.Global.Satisfaction < 0.3 || p.Global.Reputation < 0.3 || p.Global.Privacy < 0.1 {
-			t.Fatalf("non-member in Area A: %+v", p)
-		}
-	}
-	if res.BestInAreaA.Trust > res.Best.Trust {
-		t.Fatal("area-constrained best exceeds global best")
-	}
-}
-
-func TestOptimizeRespectsConstraints(t *testing.T) {
-	cfg := exploreConfig()
-	cons := Constraints{MinPrivacy: 0.5}
-	p, err := Optimize(context.Background(), cfg, cons)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if p.Global.Privacy < 0.5 {
-		t.Fatalf("optimizer violated privacy constraint: %+v", p)
-	}
-	// An unconstrained optimum must be at least as good.
-	free, err := Optimize(context.Background(), cfg, Constraints{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if free.Trust < p.Trust-1e-9 {
-		t.Fatalf("unconstrained optimum %v below constrained %v", free.Trust, p.Trust)
-	}
-}
-
-func TestOptimizeInfeasible(t *testing.T) {
-	cfg := exploreConfig()
-	_, err := Optimize(context.Background(), cfg, Constraints{MinPrivacy: 0.999, MinReputation: 0.999, MinSatisfaction: 0.999})
-	if !errors.Is(err, ErrInfeasible) {
-		t.Fatalf("err = %v, want ErrInfeasible", err)
-	}
-}
-
-func TestDifferentContextsDifferentOptima(t *testing.T) {
-	// §4 / E10: the max-trust setting depends on the applicative context.
-	base := exploreConfig()
-
-	privCfg := base
-	privCfg.Weights = ContextWeights(PrivacyCritical)
-	pPriv, err := Optimize(context.Background(), privCfg, Constraints{})
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	perfCfg := base
-	perfCfg.Weights = ContextWeights(PerformanceCritical)
-	pPerf, err := Optimize(context.Background(), perfCfg, Constraints{})
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// The privacy-critical optimum must not disclose more than the
-	// performance-critical one (weak inequality: grids are coarse).
-	if pPriv.Setting.Disclosure > pPerf.Setting.Disclosure {
-		t.Fatalf("privacy-critical context disclosed more (%v) than performance-critical (%v)",
-			pPriv.Setting.Disclosure, pPerf.Setting.Disclosure)
+	cfg.Mechanism = nil
+	if _, err := EvaluateSetting(cfg, Setting{Disclosure: 0.5}); err == nil {
+		t.Fatal("missing factory accepted")
 	}
 }

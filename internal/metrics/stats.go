@@ -82,20 +82,24 @@ func (s *Stream) Merge(o *Stream) {
 	s.n, s.mean, s.m2 = n, mean, m2
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
-// interpolation. It copies and sorts its input; xs is not modified.
-// An empty slice yields 0.
+// Quantile returns the q-quantile of xs using linear interpolation. It
+// copies and sorts its input; xs is not modified.
+//
+// Edge cases are explicit rather than clamped: an empty slice and a q
+// outside [0,1] (including NaN) both return NaN — "no data" and "not a
+// quantile" must not masquerade as a measured value. q = 0 and q = 1 are
+// valid and return the minimum and maximum.
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return 0
+	if len(xs) == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
 	}
 	cp := make([]float64, len(xs))
 	copy(cp, xs)
 	sort.Float64s(cp)
-	if q <= 0 {
+	if q == 0 {
 		return cp[0]
 	}
-	if q >= 1 {
+	if q == 1 {
 		return cp[len(cp)-1]
 	}
 	pos := q * float64(len(cp)-1)
@@ -108,16 +112,50 @@ func Quantile(xs []float64, q float64) float64 {
 	return cp[lo]*(1-frac) + cp[hi]*frac
 }
 
-// Mean returns the arithmetic mean of xs (0 for empty input).
+// Mean returns the arithmetic mean of xs. An empty slice returns NaN: a
+// mean over no observations is undefined, and callers that want a neutral
+// default must choose it explicitly rather than receive a silent 0.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	sum := 0.0
 	for _, x := range xs {
 		sum += x
 	}
 	return sum / float64(len(xs))
+}
+
+// Agg summarizes one sample of observations: the moments and order
+// statistics the sweep aggregator reports per cell. All fields are NaN for
+// an empty sample.
+type Agg struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Max    float64 `json:"max"`
+}
+
+// Describe computes the Agg summary of xs.
+func Describe(xs []float64) Agg {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Agg{N: 0, Mean: nan, Std: nan, Min: nan, Median: nan, Max: nan}
+	}
+	var s Stream
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return Agg{
+		N:      len(xs),
+		Mean:   s.Mean(),
+		Std:    s.Std(),
+		Min:    s.Min(),
+		Median: Quantile(xs, 0.5),
+		Max:    s.Max(),
+	}
 }
 
 // KendallTau returns the Kendall rank correlation coefficient (tau-b,

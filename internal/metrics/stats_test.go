@@ -94,8 +94,15 @@ func TestQuantile(t *testing.T) {
 	if xs[0] != 5 {
 		t.Fatal("Quantile sorted its input in place")
 	}
-	if Quantile(nil, 0.5) != 0 {
-		t.Fatal("empty quantile != 0")
+	// Edge cases are explicit NaN, not silent clamps: no data and
+	// not-a-quantile must not look like measured values.
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile != NaN")
+	}
+	for _, q := range []float64{-0.01, 1.01, math.NaN()} {
+		if !math.IsNaN(Quantile(xs, q)) {
+			t.Fatalf("Quantile(q=%v) != NaN", q)
+		}
 	}
 }
 
@@ -208,10 +215,31 @@ func TestHistogramDegenerateArgs(t *testing.T) {
 }
 
 func TestMeanHelper(t *testing.T) {
-	if Mean(nil) != 0 {
-		t.Fatal("Mean(nil) != 0")
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) != NaN")
 	}
 	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
 		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	a := Describe([]float64{1, 2, 3, 4})
+	if a.N != 4 || a.Mean != 2.5 || a.Min != 1 || a.Max != 4 {
+		t.Fatalf("Describe = %+v", a)
+	}
+	if !almostEqual(a.Median, 2.5, 1e-12) {
+		t.Fatalf("median = %v, want 2.5", a.Median)
+	}
+	if !almostEqual(a.Std, math.Sqrt(5.0/3), 1e-12) {
+		t.Fatalf("std = %v", a.Std)
+	}
+	one := Describe([]float64{7})
+	if one.N != 1 || one.Mean != 7 || one.Std != 0 || one.Min != 7 || one.Max != 7 || one.Median != 7 {
+		t.Fatalf("single-sample Describe = %+v", one)
+	}
+	empty := Describe(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) || !math.IsNaN(empty.Median) {
+		t.Fatalf("empty Describe = %+v", empty)
 	}
 }

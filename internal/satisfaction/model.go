@@ -8,7 +8,7 @@ import "fmt"
 type Model struct {
 	// Memory is the EMA weight of past satisfaction in [0,1)
 	// (DefaultMemory when zero).
-	Memory float64
+	Memory float64 `json:"memory,omitempty"`
 }
 
 // DefaultModel returns the model with the paper-calibrated defaults.

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"sync/atomic"
 	"testing"
 )
@@ -50,5 +52,58 @@ func TestForChunksDeterministicPerIndexWrites(t *testing.T) {
 				t.Fatalf("workers=%d diverged at %d", workers, i)
 			}
 		}
+	}
+}
+
+func TestRunIndexed(t *testing.T) {
+	ctx := context.Background()
+	for _, workers := range []int{0, 1, 3, 16} {
+		out := make([]int, 40)
+		if err := RunIndexed(ctx, workers, len(out), func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	if err := RunIndexed(ctx, 4, 0, func(int) error { return nil }); err != nil {
+		t.Fatalf("empty range: %v", err)
+	}
+}
+
+func TestRunIndexedFirstErrorByIndex(t *testing.T) {
+	// Two failing jobs: the reported error must be the lower-index one for
+	// every pool size (the deterministic-fold contract), even though the
+	// higher-index one may finish first.
+	for _, workers := range []int{1, 2, 8} {
+		err := RunIndexed(context.Background(), workers, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 3's error", workers, err)
+		}
+	}
+}
+
+func TestRunIndexedHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	// 64 jobs: the select between ctx.Done and the feed is racy per job, but
+	// the chance of dispatching all of them after cancellation is 2^-64.
+	err := RunIndexed(ctx, 2, 64, func(i int) error { ran.Add(1); return nil })
+	if err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+	if ran.Load() >= 64 {
+		t.Fatal("cancelled run dispatched every job")
 	}
 }

@@ -528,21 +528,22 @@ func (e *Engine) Run(n int) {
 
 // Summary aggregates scenario-level metrics.
 type Summary struct {
-	Rounds int
+	Rounds int `json:"rounds"`
 	// BadServiceRate is the cumulative fraction of interactions with bad
 	// or refused service.
-	BadServiceRate float64
+	BadServiceRate float64 `json:"bad_service_rate"`
 	// RecentBadRate is the bad-service rate over the last quarter of
 	// rounds (the converged regime).
-	RecentBadRate float64
+	RecentBadRate float64 `json:"recent_bad_rate"`
 	// Tau is the Kendall rank correlation between mechanism scores and
 	// ground-truth provider quality — the paper's "consistency with the
 	// reality" reputation power.
-	Tau float64
+	Tau float64 `json:"tau"`
 	// ConsumerSat / ProviderSat are the mean long-run satisfactions.
-	ConsumerSat, ProviderSat float64
+	ConsumerSat float64 `json:"consumer_sat"`
+	ProviderSat float64 `json:"provider_sat"`
 	// ShareRate is the fraction of reports actually disclosed.
-	ShareRate float64
+	ShareRate float64 `json:"share_rate"`
 }
 
 // Summarize computes the summary so far.

@@ -22,6 +22,10 @@ var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+)
 // shardCase extracts the users/shards axes from a sub-benchmark name.
 var shardCase = regexp.MustCompile(`users=(\d+)/shards=(\d+)`)
 
+// workerCase extracts a trailing workers= axis (the sweep benchmark's
+// parallelism knob); the prefix before it keys the speedup entry.
+var workerCase = regexp.MustCompile(`^(.+?)/workers=(\d+)$`)
+
 type result struct {
 	Iterations int     `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
@@ -29,14 +33,16 @@ type result struct {
 
 type output struct {
 	Benchmarks map[string]result `json:"benchmarks"`
-	// Speedup is ns/op(shards=1) / ns/op(shards=K) per population size and
-	// K > 1 — the headline number the acceptance bar tracks.
+	// Speedup is ns/op(parallelism=1) / ns/op(parallelism=K) per case and
+	// K > 1, over the shards= (epoch bench) or workers= (sweep bench) axis
+	// — the headline number the acceptance bar tracks.
 	Speedup map[string]float64 `json:"speedup,omitempty"`
 }
 
 func main() {
 	out := output{Benchmarks: map[string]result{}}
-	nsByCase := map[string]map[int]float64{} // users= -> shards -> ns/op
+	nsByCase := map[string]map[int]float64{} // case key -> parallelism -> ns/op
+	axisByCase := map[string]string{}        // case key -> "shards" | "workers"
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -60,6 +66,15 @@ func main() {
 				nsByCase[key] = map[int]float64{}
 			}
 			nsByCase[key][shards] = ns
+			axisByCase[key] = "shards"
+		} else if c := workerCase.FindStringSubmatch(m[1]); c != nil {
+			workers, _ := strconv.Atoi(c[2])
+			key := c[1]
+			if nsByCase[key] == nil {
+				nsByCase[key] = map[int]float64{}
+			}
+			nsByCase[key][workers] = ns
+			axisByCase[key] = "workers"
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -78,7 +93,7 @@ func main() {
 			if out.Speedup == nil {
 				out.Speedup = map[string]float64{}
 			}
-			out.Speedup[fmt.Sprintf("%s/shards=%d", key, shards)] = base / ns
+			out.Speedup[fmt.Sprintf("%s/%s=%d", key, axisByCase[key], shards)] = base / ns
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -39,8 +39,21 @@
 // into an engine built from identical options continues bit-for-bit
 // identically to an uninterrupted run, at any shard count.
 //
-// The §4 tradeoff explorer is exposed as Explore, Optimize and
-// EvaluateSetting over the same option-built scenarios.
+// Scenario makes the whole setup a declarative, JSON round-trippable
+// value — population, mix, graph, mechanism spec, privacy policy, coupling
+// and epoch shape, intervention schedule — whose Options method compiles to
+// the functional options above; a Registry ships the example programs as
+// named built-ins (quickstart, filesharing, socialfeed, churnstorm,
+// tradeoff), runnable via `trustsim -scenario`. Experiment expands a
+// scenario over parameter axes (Vary, VaryTuples, VaryMechanism) and seed
+// replications (Seeds), executes the run matrix on a bounded worker pool,
+// and aggregates typed SweepResults (per-epoch mean/stddev/quantiles,
+// CSV/JSON emitters); equal seeds produce byte-identical results at any
+// parallelism.
+//
+// The §4 tradeoff explorer — Explore, Optimize, EvaluateSetting — runs
+// over the same declarative scenarios, with its grids and hill-climb
+// batches executed as sweeps.
 //
 // Reputation mechanisms are pluggable through the Mechanism interface; the
 // cited implementations ship as factories (EigenTrust, TrustMe, PowerTrust,

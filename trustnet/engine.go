@@ -120,12 +120,13 @@ func (e *Engine) Epoch() (EpochStats, error) {
 // Run drives the coupled dynamics for the given number of epochs,
 // honouring ctx between epochs. It returns the full epoch history
 // recorded so far (including epochs from earlier Run/Epoch calls).
+// A negative epoch count is an error, not a silent no-op.
 //
 // Run is the batch wrapper over Session; use Session directly to stream
 // epochs, register observers, schedule interventions, or checkpoint.
 func (e *Engine) Run(ctx context.Context, epochs int) ([]EpochStats, error) {
 	if epochs < 0 {
-		epochs = 0
+		return e.History(), fmt.Errorf("trustnet: epoch count must be >= 0, got %d", epochs)
 	}
 	s, err := e.Session(ctx, WithMaxEpochs(epochs))
 	if err != nil {

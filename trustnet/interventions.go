@@ -1,6 +1,10 @@
 package trustnet
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
 
 // Intervention is one typed scenario event a Session applies at an epoch
 // boundary: churn waves, policy flips, adversary activation. Interventions
@@ -35,7 +39,9 @@ func checkUsers(e *Engine, users []int, what string) error {
 
 // JoinWave brings the listed users (back) into the network. Joining is
 // idempotent; a joining user resumes with all the state it left with.
-type JoinWave struct{ Users []int }
+type JoinWave struct {
+	Users []int `json:"users"`
+}
 
 func (w JoinWave) check(e *Engine) error { return checkUsers(e, w.Users, "join wave") }
 func (w JoinWave) applyTo(e *Engine) error {
@@ -50,7 +56,9 @@ func (w JoinWave) applyTo(e *Engine) error {
 // LeaveWave removes the listed users from the network: they stop requesting,
 // serving, and appearing in candidate sets, but keep their accumulated state
 // for a later JoinWave.
-type LeaveWave struct{ Users []int }
+type LeaveWave struct {
+	Users []int `json:"users"`
+}
 
 func (w LeaveWave) check(e *Engine) error { return checkUsers(e, w.Users, "leave wave") }
 func (w LeaveWave) applyTo(e *Engine) error {
@@ -67,7 +75,9 @@ func (w LeaveWave) applyTo(e *Engine) error {
 // must implement Whitewasher) and the user is marked present. The contrast
 // between zero-default and neutral-default mechanisms under this wave is the
 // paper's identity-cost argument (§2.2).
-type WhitewashWave struct{ Users []int }
+type WhitewashWave struct {
+	Users []int `json:"users"`
+}
 
 func (w WhitewashWave) check(e *Engine) error {
 	if _, ok := e.Mechanism().(Whitewasher); !ok {
@@ -89,7 +99,9 @@ func (w WhitewashWave) applyTo(e *Engine) error {
 // PolicyChange installs a new privacy policy mid-run: base disclosure,
 // trust-gate strictness, and exposure normalization, exactly as
 // WithPrivacyPolicy configures them at construction.
-type PolicyChange struct{ Policy PrivacyPolicy }
+type PolicyChange struct {
+	Policy PrivacyPolicy `json:"policy"`
+}
 
 func (c PolicyChange) check(*Engine) error {
 	p := c.Policy
@@ -115,7 +127,9 @@ func (c PolicyChange) applyTo(e *Engine) error {
 }
 
 // TrustGateChange adjusts only the privacy trust-gate strictness.
-type TrustGateChange struct{ Gate float64 }
+type TrustGateChange struct {
+	Gate float64 `json:"gate"`
+}
 
 func (c TrustGateChange) check(*Engine) error {
 	if c.Gate < 0 || c.Gate >= 1 {
@@ -130,7 +144,9 @@ func (c TrustGateChange) applyTo(e *Engine) error {
 // DisclosureChange adjusts only the base disclosure δ_base, including a true
 // zero (share nothing). Every user's current disclosure resets to the new
 // base; the §3 coupling re-derives per-user values from the next epoch on.
-type DisclosureChange struct{ Base float64 }
+type DisclosureChange struct {
+	Base float64 `json:"base"`
+}
 
 func (c DisclosureChange) check(*Engine) error {
 	if c.Base < 0 || c.Base > 1 {
@@ -144,7 +160,9 @@ func (c DisclosureChange) applyTo(e *Engine) error {
 
 // HonestyChange adjusts h0, the truthful-reporting probability at zero trust
 // (honesty activation: rises to 1 with full trust).
-type HonestyChange struct{ Base float64 }
+type HonestyChange struct {
+	Base float64 `json:"base"`
+}
 
 func (c HonestyChange) check(*Engine) error {
 	if c.Base < 0 || c.Base > 1 {
@@ -157,7 +175,9 @@ func (c HonestyChange) applyTo(e *Engine) error {
 }
 
 // CouplingChange enables or disables the §3 feedback loops mid-run.
-type CouplingChange struct{ Enabled bool }
+type CouplingChange struct {
+	Enabled bool `json:"enabled"`
+}
 
 func (CouplingChange) check(*Engine) error { return nil }
 func (c CouplingChange) applyTo(e *Engine) error {
@@ -169,8 +189,8 @@ func (c CouplingChange) applyTo(e *Engine) error {
 // adversary-activation intervention (honest users turning malicious, a
 // traitor cohort flipping, or compromised users being restored to Honest).
 type BehaviorChange struct {
-	Users []int
-	Class Class
+	Users []int `json:"users"`
+	Class Class `json:"class"`
 }
 
 func (c BehaviorChange) check(e *Engine) error {
@@ -247,6 +267,192 @@ func (s Schedule) forEpoch(epoch int) []Intervention {
 		if si.Epoch == epoch {
 			out = append(out, si.Action)
 		}
+	}
+	return out
+}
+
+// Intervention kind tags used by the JSON encoding of a Schedule. Each
+// entry marshals as {"epoch": N, "kind": "<tag>", "args": {...}} with args
+// holding the concrete intervention's fields, so schedules round-trip
+// through scenario spec files.
+const (
+	kindJoinWave         = "join-wave"
+	kindLeaveWave        = "leave-wave"
+	kindWhitewashWave    = "whitewash-wave"
+	kindPolicyChange     = "policy-change"
+	kindTrustGateChange  = "trust-gate-change"
+	kindDisclosureChange = "disclosure-change"
+	kindHonestyChange    = "honesty-change"
+	kindCouplingChange   = "coupling-change"
+	kindBehaviorChange   = "behavior-change"
+)
+
+// interventionKind maps a concrete intervention to its JSON tag.
+func interventionKind(a Intervention) (string, error) {
+	switch a.(type) {
+	case JoinWave:
+		return kindJoinWave, nil
+	case LeaveWave:
+		return kindLeaveWave, nil
+	case WhitewashWave:
+		return kindWhitewashWave, nil
+	case PolicyChange:
+		return kindPolicyChange, nil
+	case TrustGateChange:
+		return kindTrustGateChange, nil
+	case DisclosureChange:
+		return kindDisclosureChange, nil
+	case HonestyChange:
+		return kindHonestyChange, nil
+	case CouplingChange:
+		return kindCouplingChange, nil
+	case BehaviorChange:
+		return kindBehaviorChange, nil
+	default:
+		return "", fmt.Errorf("trustnet: intervention %T has no JSON encoding", a)
+	}
+}
+
+// interventionEnvelope is the wire form of one scheduled intervention.
+type interventionEnvelope struct {
+	Epoch int             `json:"epoch"`
+	Kind  string          `json:"kind"`
+	Args  json.RawMessage `json:"args,omitempty"`
+}
+
+// MarshalJSON encodes the entry as a typed envelope.
+func (si ScheduledIntervention) MarshalJSON() ([]byte, error) {
+	if si.Action == nil {
+		return nil, fmt.Errorf("trustnet: schedule entry at epoch %d has nil intervention", si.Epoch)
+	}
+	kind, err := interventionKind(si.Action)
+	if err != nil {
+		return nil, err
+	}
+	args, err := json.Marshal(si.Action)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(interventionEnvelope{Epoch: si.Epoch, Kind: kind, Args: args})
+}
+
+// strictUnmarshal decodes with unknown-field rejection, so a typo in a
+// schedule entry fails loudly instead of silently dropping the field —
+// custom unmarshalers do not inherit the outer decoder's strictness, so
+// the envelope enforces its own.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// UnmarshalJSON decodes a typed envelope back into the concrete
+// intervention named by its kind tag, rejecting unknown fields in both the
+// envelope and the intervention payload.
+func (si *ScheduledIntervention) UnmarshalJSON(data []byte) error {
+	var env interventionEnvelope
+	if err := strictUnmarshal(data, &env); err != nil {
+		return err
+	}
+	args := env.Args
+	if len(args) == 0 {
+		args = json.RawMessage("{}")
+	}
+	var action Intervention
+	switch env.Kind {
+	case kindJoinWave:
+		var a JoinWave
+		if err := strictUnmarshal(args, &a); err != nil {
+			return err
+		}
+		action = a
+	case kindLeaveWave:
+		var a LeaveWave
+		if err := strictUnmarshal(args, &a); err != nil {
+			return err
+		}
+		action = a
+	case kindWhitewashWave:
+		var a WhitewashWave
+		if err := strictUnmarshal(args, &a); err != nil {
+			return err
+		}
+		action = a
+	case kindPolicyChange:
+		var a PolicyChange
+		if err := strictUnmarshal(args, &a); err != nil {
+			return err
+		}
+		action = a
+	case kindTrustGateChange:
+		var a TrustGateChange
+		if err := strictUnmarshal(args, &a); err != nil {
+			return err
+		}
+		action = a
+	case kindDisclosureChange:
+		var a DisclosureChange
+		if err := strictUnmarshal(args, &a); err != nil {
+			return err
+		}
+		action = a
+	case kindHonestyChange:
+		var a HonestyChange
+		if err := strictUnmarshal(args, &a); err != nil {
+			return err
+		}
+		action = a
+	case kindCouplingChange:
+		var a CouplingChange
+		if err := strictUnmarshal(args, &a); err != nil {
+			return err
+		}
+		action = a
+	case kindBehaviorChange:
+		var a BehaviorChange
+		if err := strictUnmarshal(args, &a); err != nil {
+			return err
+		}
+		action = a
+	default:
+		return fmt.Errorf("trustnet: unknown intervention kind %q", env.Kind)
+	}
+	si.Epoch = env.Epoch
+	si.Action = action
+	return nil
+}
+
+// cloneIntervention deep-copies an intervention's payload, so schedules
+// handed out by the registry (or cloned into sweep cells) never share
+// mutable user lists with their source.
+func cloneIntervention(a Intervention) Intervention {
+	switch v := a.(type) {
+	case JoinWave:
+		v.Users = append([]int(nil), v.Users...)
+		return v
+	case LeaveWave:
+		v.Users = append([]int(nil), v.Users...)
+		return v
+	case WhitewashWave:
+		v.Users = append([]int(nil), v.Users...)
+		return v
+	case BehaviorChange:
+		v.Users = append([]int(nil), v.Users...)
+		return v
+	default:
+		// The remaining vocabulary carries only scalar payloads.
+		return a
+	}
+}
+
+// clone deep-copies the schedule, payload slices included.
+func (s Schedule) clone() Schedule {
+	if s == nil {
+		return nil
+	}
+	out := make(Schedule, len(s))
+	for i, si := range s {
+		out[i] = ScheduledIntervention{Epoch: si.Epoch, Action: cloneIntervention(si.Action)}
 	}
 	return out
 }

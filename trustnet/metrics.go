@@ -25,10 +25,13 @@ func RenderSeries(w io.Writer, title, xName string, series ...*Series) {
 	metrics.RenderSeries(w, title, xName, series...)
 }
 
-// Mean returns the arithmetic mean (0 for an empty slice).
+// Mean returns the arithmetic mean. An empty slice returns NaN — "no
+// data" never masquerades as a measured 0.
 func Mean(xs []float64) float64 { return metrics.Mean(xs) }
 
-// Quantile returns the q-quantile by linear interpolation.
+// Quantile returns the q-quantile by linear interpolation (q in [0,1];
+// 0 and 1 return the minimum and maximum). An empty slice or a q outside
+// [0,1] returns NaN.
 func Quantile(xs []float64, q float64) float64 { return metrics.Quantile(xs, q) }
 
 // KendallTau returns the Kendall rank correlation of two equal-length

@@ -39,14 +39,14 @@ type SatisfactionModel = satisfaction.Model
 type PrivacyPolicy struct {
 	// Disclosure is the base probability δ in [0,1] that a peer shares a
 	// feedback report with the reputation layer.
-	Disclosure float64
+	Disclosure float64 `json:"disclosure"`
 	// TrustGate in [0,1) applies the policies' MinTrustLevel clause through
 	// reputation: only candidates at or above the TrustGate-quantile of
 	// scores may serve. 0 disables gating.
-	TrustGate float64
+	TrustGate float64 `json:"trust_gate,omitempty"`
 	// ExposureScale normalizes ledgered exposure into the privacy facet
 	// (default 50 when zero).
-	ExposureScale float64
+	ExposureScale float64 `json:"exposure_scale,omitempty"`
 }
 
 // DefaultPrivacyPolicy discloses everything, gates nothing.

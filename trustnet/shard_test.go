@@ -84,14 +84,15 @@ func TestShardOptionValidation(t *testing.T) {
 // must return the same points, Area A and optimum as the sequential pool,
 // for any shard count in the scenario template.
 func TestExploreWorkerInvariance(t *testing.T) {
-	explore := func(extra ...Option) *ExploreResult {
-		scenario := []Option{
-			WithPeers(40),
-			WithRNGSeed(7),
-			WithMix(Mix{Fractions: map[Class]float64{Honest: 0.7, Malicious: 0.3}}),
-			WithReputationMechanism(EigenTrust(EigenTrustConfig{Pretrusted: []int{0, 1}})),
+	explore := func(workers, shards int) *ExploreResult {
+		scenario := Scenario{
+			Peers:     40,
+			Seed:      7,
+			Mix:       &MixSpec{Fractions: map[string]float64{"honest": 0.7, "malicious": 0.3}},
+			Mechanism: MechanismSpec{Kind: "eigentrust", Pretrusted: []int{0, 1}},
+			Workers:   workers,
+			Shards:    shards,
 		}
-		scenario = append(scenario, extra...)
 		res, err := Explore(context.Background(), ExploreConfig{
 			Scenario: scenario,
 			Rounds:   10,
@@ -102,13 +103,13 @@ func TestExploreWorkerInvariance(t *testing.T) {
 		}
 		return res
 	}
-	ref := explore(WithWorkers(1))
-	for _, extra := range [][]Option{
-		{WithWorkers(4)},
-		{WithWorkers(4), WithShards(2)},
-		{WithParallelism(3)},
+	ref := explore(1, 0)
+	for _, cfg := range [][2]int{
+		{4, 0},
+		{4, 2},
+		{3, 3},
 	} {
-		got := explore(extra...)
+		got := explore(cfg[0], cfg[1])
 		if len(got.Points) != len(ref.Points) {
 			t.Fatalf("%d points, want %d", len(got.Points), len(ref.Points))
 		}
@@ -127,12 +128,12 @@ func TestExploreWorkerInvariance(t *testing.T) {
 func TestOptimizeWorkerInvariance(t *testing.T) {
 	optimize := func(workers int) Point {
 		res, err := Optimize(context.Background(), ExploreConfig{
-			Scenario: []Option{
-				WithPeers(40),
-				WithRNGSeed(7),
-				WithMix(Mix{Fractions: map[Class]float64{Honest: 0.7, Malicious: 0.3}}),
-				WithReputationMechanism(EigenTrust(EigenTrustConfig{Pretrusted: []int{0, 1}})),
-				WithWorkers(workers),
+			Scenario: Scenario{
+				Peers:     40,
+				Seed:      7,
+				Mix:       &MixSpec{Fractions: map[string]float64{"honest": 0.7, "malicious": 0.3}},
+				Mechanism: MechanismSpec{Kind: "eigentrust", Pretrusted: []int{0, 1}},
+				Workers:   workers,
 			},
 			Rounds:   10,
 			GridSize: 3,
@@ -155,9 +156,9 @@ func TestExploreCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := Explore(ctx, ExploreConfig{
-		Scenario: []Option{
-			WithPeers(40),
-			WithReputationMechanism(EigenTrust(EigenTrustConfig{Pretrusted: []int{0}})),
+		Scenario: Scenario{
+			Peers:     40,
+			Mechanism: MechanismSpec{Kind: "eigentrust", Pretrusted: []int{0}},
 		},
 		Rounds:   5,
 		GridSize: 3,

@@ -1,0 +1,260 @@
+package trustnet
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sweepBase is a small scenario for sweep tests.
+func sweepBase() Scenario {
+	return Scenario{
+		Peers:          24,
+		Seed:           5,
+		Mix:            &MixSpec{Fractions: map[string]float64{"honest": 0.7, "malicious": 0.3}, ForceHonest: []int{0, 1}},
+		Mechanism:      MechanismSpec{Kind: "eigentrust", Pretrusted: []int{0, 1}},
+		Coupled:        true,
+		EpochRounds:    3,
+		Epochs:         3,
+		RecomputeEvery: 2,
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism: the determinism regression of
+// the sweep executor — a (disclosure × gate) grid with seed replications
+// run at parallelism 1 and parallelism 8 must emit byte-identical
+// SweepResult JSON.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	run := func(workers int) []byte {
+		res, err := NewExperiment(sweepBase()).
+			Vary("disclosure", 0.2, 0.6, 1).
+			Vary("gate", 0, 0.3).
+			Seeds(3).
+			Workers(workers).
+			Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	p1 := run(1)
+	p8 := run(8)
+	if !bytes.Equal(p1, p8) {
+		t.Fatal("SweepResult JSON differs between parallelism 1 and 8")
+	}
+}
+
+// TestSweepMatrixShape: cells expand row-major over the axes, each cell
+// replicates over the seeds in order, and At() indexes the matrix.
+func TestSweepMatrixShape(t *testing.T) {
+	exp := NewExperiment(sweepBase()).
+		Vary("disclosure", 0.5, 1).
+		VaryMechanism(MechanismSpec{Kind: "eigentrust", Pretrusted: []int{0, 1}}, MechanismSpec{Kind: "none"}).
+		Seeds(2)
+	if got := exp.Runs(); got != 8 {
+		t.Fatalf("Runs() = %d, want 8", got)
+	}
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(res.Cells))
+	}
+	cell := res.At(1, 0)
+	if d := cell.Coord.Get("disclosure"); d != 1 {
+		t.Fatalf("At(1,0) disclosure = %v, want 1", d)
+	}
+	if lbl := cell.Coord[1].Label; lbl != "eigentrust" {
+		t.Fatalf("At(1,0) mechanism label = %q", lbl)
+	}
+	if len(cell.Runs) != 2 {
+		t.Fatalf("replications = %d, want 2", len(cell.Runs))
+	}
+	if cell.Runs[0].Seed != 5 || cell.Runs[1].Seed != 6 {
+		t.Fatalf("seeds = %d,%d want 5,6", cell.Runs[0].Seed, cell.Runs[1].Seed)
+	}
+	// Aggregates fold the replications.
+	wantMean := (cell.Runs[0].Trust + cell.Runs[1].Trust) / 2
+	if math.Abs(cell.Trust.Mean-wantMean) > 1e-12 {
+		t.Fatalf("trust mean %v, want %v", cell.Trust.Mean, wantMean)
+	}
+	if cell.Final == nil || len(cell.Epochs) != 3 {
+		t.Fatalf("epoch aggregation missing: %d epochs, final %v", len(cell.Epochs), cell.Final)
+	}
+	if !reflect.DeepEqual(*cell.Final, cell.Epochs[2]) {
+		t.Fatal("Final is not the last epoch aggregate")
+	}
+	// Equal seeds ⇒ the same cell in a separate sweep is bit-for-bit equal.
+	res2, err := NewExperiment(sweepBase()).
+		Vary("disclosure", 1).
+		Seeds(2).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res2.Cells[0].Runs[0].History, cell.Runs[0].History) {
+		t.Fatal("same scenario+seed produced different histories across sweeps")
+	}
+}
+
+// TestSweepClassFractionAxis: an adversary-class parameter adjusts the mix
+// with the honest class absorbing the remainder.
+func TestSweepClassFractionAxis(t *testing.T) {
+	sc := sweepBase()
+	if err := applyParam(&sc, "malicious", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Mix.Fractions["malicious"] != 0.5 || math.Abs(sc.Mix.Fractions["honest"]-0.5) > 1e-12 {
+		t.Fatalf("fractions = %v", sc.Mix.Fractions)
+	}
+	if err := applyParam(&sc, "selfish", 0.6); err == nil {
+		t.Fatal("fractions exceeding 1 accepted")
+	}
+	fresh := Scenario{}
+	if err := applyParam(&fresh, "traitor", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Mix.Fractions["traitor"] != 0.2 || math.Abs(fresh.Mix.Fractions["honest"]-0.8) > 1e-12 {
+		t.Fatalf("fresh mix = %v", fresh.Mix.Fractions)
+	}
+}
+
+// TestSweepBuilderValidation: malformed sweeps fail at declaration or at
+// Run, never by silently shrinking the matrix.
+func TestSweepBuilderValidation(t *testing.T) {
+	base := sweepBase()
+	cases := []struct {
+		name    string
+		build   func() *Experiment
+		wantErr string
+	}{
+		{"no values", func() *Experiment { return NewExperiment(base).Vary("disclosure") }, "no values"},
+		{"unknown param", func() *Experiment { return NewExperiment(base).Vary("charisma", 1) }, "unknown sweep parameter"},
+		{"tuple arity", func() *Experiment {
+			return NewExperiment(base).VaryTuples([]string{"disclosure", "gate"}, []float64{1})
+		}, "values"},
+		{"zero seeds", func() *Experiment { return NewExperiment(base).Seeds(0) }, "seed replication"},
+		{"empty seed list", func() *Experiment { return NewExperiment(base).SeedList() }, "seed list"},
+		{"zero epochs", func() *Experiment { return NewExperiment(base).Epochs(0) }, "epochs"},
+		{"zero workers", func() *Experiment { return NewExperiment(base).Workers(0) }, "workers"},
+		{"bad mechanism", func() *Experiment {
+			return NewExperiment(base).VaryMechanism(MechanismSpec{Kind: "oracle"})
+		}, "mechanism kind"},
+		{"non-integer int param", func() *Experiment { return NewExperiment(base).Vary("peers", 10.5) }, "integer"},
+		{"no epoch budget", func() *Experiment {
+			b := base
+			b.Epochs = 0
+			return NewExperiment(b).Vary("disclosure", 1)
+		}, "epoch budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.build().Run(context.Background())
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestSweepEmitters: the CSV emitter writes one row per (cell, epoch) with
+// the axis columns leading; JSON re-decodes to the same cell structure.
+func TestSweepEmitters(t *testing.T) {
+	res, err := NewExperiment(sweepBase()).
+		Vary("disclosure", 0.4, 1).
+		Seeds(2).
+		Observe(func(eng *Engine) map[string]float64 {
+			return map[string]float64{"active": float64(eng.ActivePeers())}
+		}).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+2*3 {
+		t.Fatalf("csv rows = %d, want header + 2 cells x 3 epochs", len(rows))
+	}
+	if rows[0][0] != "disclosure" || rows[0][1] != "seeds" {
+		t.Fatalf("csv header = %v", rows[0])
+	}
+	last := rows[0][len(rows[0])-1]
+	if last != "active_mean" {
+		t.Fatalf("extra metric column missing, header ends with %q", last)
+	}
+	if rows[1][0] != "0.4" || rows[4][0] != "1" {
+		t.Fatalf("axis column values wrong: %q / %q", rows[1][0], rows[4][0])
+	}
+
+	var js bytes.Buffer
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded SweepResult
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Cells) != 2 || decoded.Cells[0].Extra["active"].N != 2 {
+		t.Fatalf("decoded sweep result mangled: %+v", decoded.Cells)
+	}
+}
+
+// TestExperimentSpecSerializable: the sweep's own spec round-trips through
+// JSON, so a study file can describe base + axes + seeds.
+func TestExperimentSpecSerializable(t *testing.T) {
+	exp := NewExperiment(sweepBase()).
+		Vary("disclosure", 0, 0.5, 1).
+		VaryMechanism(MechanismSpec{Kind: "eigentrust"}, MechanismSpec{Kind: "trustme"}).
+		Seeds(2).
+		Epochs(4)
+	spec := exp.Spec()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt ExperimentSpec
+	if err := json.Unmarshal(data, &rt); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, rt) {
+		t.Fatalf("spec round trip diverged:\n%+v\n!=\n%+v", spec, rt)
+	}
+}
+
+// TestSweepEpochsAxis: "epochs" is a sweepable parameter — each cell runs
+// its own epoch budget, and a zero budget from an axis errors instead of
+// silently running the base value.
+func TestSweepEpochsAxis(t *testing.T) {
+	res, err := NewExperiment(sweepBase()).
+		Vary("epochs", 1, 4).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Cells[0].Runs[0].History); got != 1 {
+		t.Fatalf("epochs=1 cell ran %d epochs", got)
+	}
+	if got := len(res.Cells[1].Runs[0].History); got != 4 {
+		t.Fatalf("epochs=4 cell ran %d epochs", got)
+	}
+	if _, err := NewExperiment(sweepBase()).Vary("epochs", 0).Run(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "epoch budget") {
+		t.Fatalf("zero-epoch axis err = %v", err)
+	}
+}

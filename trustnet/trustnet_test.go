@@ -47,6 +47,8 @@ func TestOptionValidation(t *testing.T) {
 		{"zero recompute", []Option{WithRecomputeEvery(0)}, "recompute"},
 		{"negative skew", []Option{WithActivitySkew(-1)}, "skew"},
 		{"negative workers", []Option{WithWorkers(-1)}, "worker"},
+		{"zero shards", []Option{WithShards(0)}, "shard"},
+		{"zero parallelism", []Option{WithParallelism(0)}, "parallelism"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -367,12 +369,12 @@ func TestUserWeightsChangeAssessment(t *testing.T) {
 // TestExploreAndOptimize runs a tiny grid end to end through the facade.
 func TestExploreAndOptimize(t *testing.T) {
 	cfg := ExploreConfig{
-		Scenario: []Option{
-			WithPeers(24),
-			WithRNGSeed(5),
-			WithMix(mix(0.3)),
-			WithReputationMechanism(EigenTrust(EigenTrustConfig{Pretrusted: []int{0, 1, 2}})),
-			WithRecomputeEvery(2),
+		Scenario: Scenario{
+			Peers:          24,
+			Seed:           5,
+			Mix:            &MixSpec{Fractions: map[string]float64{"honest": 0.7, "malicious": 0.3}},
+			Mechanism:      MechanismSpec{Kind: "eigentrust", Pretrusted: []int{0, 1, 2}},
+			RecomputeEvery: 2,
 		},
 		Rounds:   6,
 		GridSize: 2,
@@ -480,25 +482,27 @@ func TestExplicitZeroInertia(t *testing.T) {
 	}
 }
 
-// TestExplorerRejectsDynamicsOptions: coupled-dynamics options in an
+// TestExplorerRejectsDynamicsFields: coupled-dynamics fields in an
 // explorer scenario fail loudly instead of being silently dropped.
-func TestExplorerRejectsDynamicsOptions(t *testing.T) {
+func TestExplorerRejectsDynamicsFields(t *testing.T) {
+	half := 0.5
 	for _, tc := range []struct {
 		name string
-		opt  Option
+		mut  func(*Scenario)
 	}{
-		{"WithCoupling", WithCoupling(true)},
-		{"WithEpochRounds", WithEpochRounds(5)},
-		{"WithInertia", WithInertia(0.2)},
-		{"WithBaseHonesty", WithBaseHonesty(0.5)},
-		{"WithUserWeights", WithUserWeights(0, DefaultWeights())},
+		{"Coupled", func(sc *Scenario) { sc.Coupled = true }},
+		{"EpochRounds", func(sc *Scenario) { sc.EpochRounds = 5 }},
+		{"Epochs", func(sc *Scenario) { sc.Epochs = 3 }},
+		{"Inertia", func(sc *Scenario) { sc.Inertia = &half }},
+		{"BaseHonesty", func(sc *Scenario) { sc.BaseHonesty = &half }},
+		{"UserWeights", func(sc *Scenario) { sc.UserWeights = map[int]Weights{0: DefaultWeights()} }},
+		{"Schedule", func(sc *Scenario) { sc.Schedule = Schedule{}.At(1, CouplingChange{Enabled: true}) }},
 	} {
-		cfg := ExploreConfig{
-			Scenario: []Option{WithPeers(20), WithRNGSeed(1), tc.opt},
-			Rounds:   3, GridSize: 2,
-		}
+		sc := Scenario{Peers: 20, Seed: 1}
+		tc.mut(&sc)
+		cfg := ExploreConfig{Scenario: sc, Rounds: 3, GridSize: 2}
 		if _, err := EvaluateSetting(cfg, Setting{}); err == nil || !strings.Contains(err.Error(), tc.name) {
-			t.Fatalf("%s: err = %v, want rejection naming the option", tc.name, err)
+			t.Fatalf("%s: err = %v, want rejection naming the field", tc.name, err)
 		}
 	}
 }
@@ -507,11 +511,11 @@ func TestExplorerRejectsDynamicsOptions(t *testing.T) {
 // per point, so re-evaluating a setting reproduces it exactly.
 func TestEvaluateSettingDeterministic(t *testing.T) {
 	cfg := ExploreConfig{
-		Scenario: []Option{
-			WithPeers(24),
-			WithRNGSeed(5),
-			WithMix(mix(0.3)),
-			WithRecomputeEvery(2),
+		Scenario: Scenario{
+			Peers:          24,
+			Seed:           5,
+			Mix:            &MixSpec{Fractions: map[string]float64{"honest": 0.7, "malicious": 0.3}},
+			RecomputeEvery: 2,
 		},
 		Rounds: 6,
 	}
