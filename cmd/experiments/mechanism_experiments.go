@@ -127,14 +127,30 @@ func runE7(w io.Writer, p params) error {
 		).
 		Drive(func(_ context.Context, eng *trustnet.Engine, _ trustnet.Scenario) (map[string]float64, error) {
 			eng.RunRounds(20)
-			return map[string]float64{"converge": float64(eng.Mechanism().Compute())}, nil
+			out := map[string]float64{"converge": float64(eng.Mechanism().Compute())}
+			// Observe the elected elite through the read-only views —
+			// no per-observation copies in the driver loop.
+			if pt, ok := eng.Mechanism().(*trustnet.PowerTrustMechanism); ok {
+				nodes, scores := pt.PowerNodesView(), pt.ScoresView()
+				sum := 0.0
+				for _, id := range nodes {
+					sum += scores[id]
+				}
+				if len(nodes) > 0 {
+					out["power_nodes"] = float64(len(nodes))
+					out["power_elite"] = sum / float64(len(nodes))
+				}
+			}
+			return out, nil
 		}).
 		Run(context.Background())
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "PowerTrust LRW convergence: look-ahead %d rounds vs plain %d rounds\n",
-		int(ablRes.At(0).Runs[0].Extra["converge"]), int(ablRes.At(1).Runs[0].Extra["converge"]))
+	la := ablRes.At(0).Runs[0].Extra
+	fmt.Fprintf(w, "PowerTrust LRW convergence: look-ahead %d rounds vs plain %d rounds (%d power nodes, mean elite score %.2f)\n",
+		int(la["converge"]), int(ablRes.At(1).Runs[0].Extra["converge"]),
+		int(la["power_nodes"]), la["power_elite"])
 	return nil
 }
 

@@ -47,7 +47,8 @@ func Assess(e *workload.Engine) Assessment {
 	// accumulators; the AUC is the O(m log m) rank-sum form.
 	gt, served := e.GroundTruth()
 	n := len(gt)
-	scores := e.Mechanism().Scores()
+	// Read-only fast path: the facet loop only reads score values.
+	scores := reputation.ScoresOf(e.Mechanism())
 	var goodScores, badScores []float64
 	for p, ok := range served {
 		if !ok {

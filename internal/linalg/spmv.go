@@ -1,0 +1,158 @@
+package linalg
+
+import "repro/internal/sim"
+
+// The scatter phase of the parallel SpMV works over fixed row blocks. The
+// block decomposition is a function of the matrix dimension ONLY — never of
+// the worker count — so each block's partial vector is computed by exactly
+// one worker with a deterministic serial accumulation order, and the fold
+// sums the partials in canonical (ascending block) order. Worker count then
+// only changes which goroutine computes a block, not any float operation or
+// its order: results are bit-for-bit identical for every parallelism.
+const (
+	spmvBlockRows = 256
+	spmvMaxBlocks = 32
+)
+
+// blockCount returns the canonical scatter block count for an n-row matrix.
+func blockCount(n int) int {
+	b := (n + spmvBlockRows - 1) / spmvBlockRows
+	if b < 1 {
+		b = 1
+	}
+	if b > spmvMaxBlocks {
+		b = spmvMaxBlocks
+	}
+	return b
+}
+
+// Workspace holds the SpMV scratch buffers (per-block partial vectors and
+// dangling masses). Reusing one workspace across iterations keeps the power
+// iteration allocation-free in steady state. A workspace must not be shared
+// by concurrent SpMV calls.
+type Workspace struct {
+	partial [][]float64
+	mass    []float64
+}
+
+// ensure sizes the workspace for a blocks×n scatter.
+func (w *Workspace) ensure(blocks, n int) {
+	if len(w.mass) < blocks {
+		w.mass = make([]float64, blocks)
+	}
+	for len(w.partial) < blocks {
+		w.partial = append(w.partial, nil)
+	}
+	for b := 0; b < blocks; b++ {
+		if len(w.partial[b]) < n {
+			w.partial[b] = make([]float64, n)
+		}
+	}
+}
+
+// MulTranspose computes y = Aᵀx + mass·dangle, where mass is the total x
+// weight sitting on empty (dangling) rows: mass = Σ_{i : row i empty} x[i].
+// This is the rank-one uniform correction that replaces a dense uniform (or
+// pretrust) fill of silent rows — dangle is the distribution a dangling
+// row's weight jumps to (nil applies no correction). x and y must have
+// length N and must not overlap.
+//
+// The product scatters over the canonical row blocks on up to `workers`
+// goroutines and folds the partial results in ascending block order; see
+// the package comment for why the result is bit-for-bit identical at any
+// worker count.
+func (c *CSR) MulTranspose(y, x, dangle []float64, workers int, ws *Workspace) {
+	n := c.n
+	if n == 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	blocks := blockCount(n)
+	ws.ensure(blocks, n)
+	rowsPer := (n + blocks - 1) / blocks
+
+	// Scatter: each block accumulates its rows' contributions into its own
+	// partial vector, rows ascending, columns ascending within a row.
+	if workers == 1 {
+		// Inline serial path: no closures, so the steady state is
+		// allocation-free.
+		c.scatter(ws, x, rowsPer, 0, blocks)
+	} else {
+		sim.ForChunks(workers, blocks, func(lob, hib int) {
+			c.scatter(ws, x, rowsPer, lob, hib)
+		})
+	}
+
+	mass := 0.0
+	for b := 0; b < blocks; b++ {
+		mass += ws.mass[b]
+	}
+
+	// Fold: each output index is owned by one worker and sums the partials
+	// in ascending block order — canonical regardless of chunking.
+	if workers == 1 {
+		fold(ws, y, dangle, mass, blocks, 0, n)
+	} else {
+		sim.ForChunks(workers, n, func(lo, hi int) {
+			fold(ws, y, dangle, mass, blocks, lo, hi)
+		})
+	}
+}
+
+// scatter accumulates blocks [lob, hib) of the transpose product into the
+// workspace's per-block partial vectors and dangling masses.
+func (c *CSR) scatter(ws *Workspace, x []float64, rowsPer, lob, hib int) {
+	n := c.n
+	for b := lob; b < hib; b++ {
+		p := ws.partial[b]
+		for j := 0; j < n; j++ {
+			p[j] = 0
+		}
+		mass := 0.0
+		lo, hi := b*rowsPer, (b+1)*rowsPer
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			e := c.rows[i]
+			if e.n == 0 {
+				mass += x[i]
+				continue
+			}
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			cols := c.cols[e.off : e.off+e.n]
+			vals := c.vals[e.off : e.off+e.n]
+			for k, col := range cols {
+				p[col] += vals[k] * xi
+			}
+		}
+		ws.mass[b] = mass
+	}
+}
+
+// fold sums output indices [lo, hi) across all block partials in ascending
+// block order, applying the rank-one dangling correction when dangle is set.
+func fold(ws *Workspace, y, dangle []float64, mass float64, blocks, lo, hi int) {
+	if dangle == nil {
+		for j := lo; j < hi; j++ {
+			s := 0.0
+			for b := 0; b < blocks; b++ {
+				s += ws.partial[b][j]
+			}
+			y[j] = s
+		}
+		return
+	}
+	for j := lo; j < hi; j++ {
+		s := 0.0
+		for b := 0; b < blocks; b++ {
+			s += ws.partial[b][j]
+		}
+		y[j] = s + mass*dangle[j]
+	}
+}

@@ -223,6 +223,12 @@ func (m *Mechanism) Scores() []float64 {
 	return out
 }
 
+// ScoresView implements reputation.ScoresViewer: the score cache without
+// the copy. Read-only; valid until the next Compute or restore.
+func (m *Mechanism) ScoresView() []float64 { return m.scores }
+
+var _ reputation.ScoresViewer = (*Mechanism)(nil)
+
 // TrustworthyFraction implements reputation.CommunityAssessor.
 func (m *Mechanism) TrustworthyFraction() float64 {
 	rated, positive := 0, 0

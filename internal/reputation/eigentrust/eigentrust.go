@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/linalg"
 	"repro/internal/overlay"
 	"repro/internal/reputation"
 )
@@ -19,7 +20,8 @@ type Config struct {
 	// Alpha is the pre-trust blending weight (the paper's a), default 0.15.
 	Alpha float64
 	// Pretrusted lists the pre-trusted peer ids; empty means uniform
-	// pre-trust.
+	// pre-trust. Ids must be in range and duplicate-free (New rejects
+	// degenerate sets).
 	Pretrusted []int
 	// Epsilon is the L1 convergence threshold, default 1e-6.
 	Epsilon float64
@@ -43,21 +45,34 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxIter <= 0 {
 		c.MaxIter = 200
 	}
-	for _, p := range c.Pretrusted {
-		if p < 0 || p >= c.N {
-			return c, fmt.Errorf("eigentrust: pre-trusted peer %d out of range", p)
-		}
-	}
 	return c, nil
 }
 
-// Mechanism is the EigenTrust scoring engine.
+// Mechanism is the EigenTrust scoring engine. The normalized local-trust
+// matrix C lives in a CSR whose rows are rematerialized incrementally from
+// the LocalTrust dirty set, and the power iteration runs the shared sparse
+// kernel: shard-parallel SpMV with a rank-one pretrust correction for
+// dangling rows, on buffers reused across computes (zero steady-state
+// allocation). Scores are bit-for-bit identical for every worker count.
 type Mechanism struct {
 	cfg      Config
 	lt       *reputation.LocalTrust
 	pretrust []float64
 	scores   []float64 // global trust distribution (sums to 1)
 	dirty    bool
+
+	// Sparse kernel state.
+	csr          *linalg.CSR
+	ws           linalg.Workspace
+	workers      int
+	materialized bool // false forces a full CSR rebuild on next Compute
+	// Reusable iteration and materialization scratch.
+	vecA, vecB []float64
+	colScratch []int32
+	valScratch []float64
+	// Max-normalized score cache backing ScoresView.
+	norm    []float64
+	normMax float64
 }
 
 var _ reputation.Mechanism = (*Mechanism)(nil)
@@ -68,14 +83,39 @@ func New(cfg Config) (*Mechanism, error) {
 	if err != nil {
 		return nil, err
 	}
+	pretrust := reputation.UniformPretrust(cfg.N)
+	if len(cfg.Pretrusted) > 0 {
+		if pretrust, err = reputation.PretrustOver(cfg.N, cfg.Pretrusted); err != nil {
+			return nil, fmt.Errorf("eigentrust: %w", err)
+		}
+	}
 	m := &Mechanism{
-		cfg:      cfg,
-		lt:       reputation.NewLocalTrust(cfg.N),
-		pretrust: reputation.PretrustOver(cfg.N, cfg.Pretrusted),
+		cfg:          cfg,
+		lt:           reputation.NewLocalTrust(cfg.N),
+		pretrust:     pretrust,
+		csr:          linalg.New(cfg.N),
+		workers:      1,
+		materialized: true, // a fresh CSR matches the empty matrix
+		vecA:         make([]float64, cfg.N),
+		vecB:         make([]float64, cfg.N),
+		norm:         make([]float64, cfg.N),
 	}
 	m.scores = append([]float64(nil), m.pretrust...)
+	m.refreshNorm()
 	return m, nil
 }
+
+// SetComputeShards implements reputation.ComputeSharder: Compute's SpMV
+// scatters over k workers. Shards are a scheduling knob only — scores stay
+// bit-for-bit identical for every k.
+func (m *Mechanism) SetComputeShards(k int) {
+	if k < 1 {
+		k = 1
+	}
+	m.workers = k
+}
+
+var _ reputation.ComputeSharder = (*Mechanism)(nil)
 
 // Name implements reputation.Mechanism.
 func (*Mechanism) Name() string { return "eigentrust" }
@@ -110,37 +150,71 @@ func (m *Mechanism) Submit(r reputation.Report) error {
 	return nil
 }
 
-// Compute runs the power iteration t ← (1−α)·Cᵀt + α·p until the L1 change
-// drops below Epsilon, returning the number of iterations performed.
+// refreshMatrix rematerializes the CSR rows whose local trust changed since
+// the last materialization — only the dirty set in steady state, every row
+// after a snapshot restore. Row materialization is a pure function of the
+// row's current local trust, so an incrementally maintained matrix is
+// bit-for-bit identical to one rebuilt from scratch.
+func (m *Mechanism) refreshMatrix() {
+	if m.materialized && !m.lt.HasDirty() {
+		return
+	}
+	setRow := func(i int) {
+		m.colScratch, m.valScratch = m.lt.AppendRow(i, m.colScratch[:0], m.valScratch[:0])
+		m.csr.SetRow(i, m.colScratch, m.valScratch)
+		m.csr.NormalizeRow(i)
+	}
+	if !m.materialized {
+		for i := 0; i < m.cfg.N; i++ {
+			setRow(i)
+		}
+		m.materialized = true
+	} else {
+		for _, i := range m.lt.DirtyRows() {
+			setRow(i)
+		}
+	}
+	m.lt.ClearDirty()
+}
+
+// refreshNorm rebuilds the max-normalized score cache behind ScoresView.
+func (m *Mechanism) refreshNorm() {
+	maxV := 0.0
+	for _, v := range m.scores {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	m.normMax = maxV
+	if maxV == 0 {
+		for i := range m.norm {
+			m.norm[i] = 0
+		}
+		return
+	}
+	for i, v := range m.scores {
+		m.norm[i] = v / maxV
+	}
+}
+
+// Compute runs the power iteration t ← (1−α)·(Cᵀt + mᵀ·p) + α·p — where m
+// is the trust mass on dangling rows, folded in by the kernel's rank-one
+// correction instead of a dense pretrust fill — until the L1 change drops
+// below Epsilon, returning the number of iterations performed. Only dirty
+// CSR rows are rematerialized, the iteration reuses the mechanism's
+// buffers, and the SpMV scatters over the configured worker shards with a
+// canonical fold, so the result is identical for every worker count.
 func (m *Mechanism) Compute() int {
 	if !m.dirty {
 		return 0
 	}
 	n := m.cfg.N
-	// Materialize C rows once per Compute.
-	rows := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		rows[i] = m.lt.NormalizedRow(i, m.pretrust)
-	}
-	t := append([]float64(nil), m.pretrust...)
-	next := make([]float64, n)
+	m.refreshMatrix()
+	t, next := m.vecA, m.vecB
+	copy(t, m.pretrust)
 	iters := 0
 	for ; iters < m.cfg.MaxIter; iters++ {
-		for j := range next {
-			next[j] = 0
-		}
-		for i := 0; i < n; i++ {
-			ti := t[i]
-			if ti == 0 {
-				continue
-			}
-			row := rows[i]
-			for j, c := range row {
-				if c != 0 {
-					next[j] += c * ti
-				}
-			}
-		}
+		m.csr.MulTranspose(next, t, m.pretrust, m.workers, &m.ws)
 		diff := 0.0
 		for j := 0; j < n; j++ {
 			next[j] = (1-m.cfg.Alpha)*next[j] + m.cfg.Alpha*m.pretrust[j]
@@ -152,7 +226,9 @@ func (m *Mechanism) Compute() int {
 			break
 		}
 	}
-	m.scores = t
+	copy(m.scores, t)
+	m.vecA, m.vecB = t, next // keep the buffer pair owned by the mechanism
+	m.refreshNorm()
 	m.dirty = false
 	return iters
 }
@@ -170,35 +246,22 @@ func (m *Mechanism) Score(peer int) float64 {
 	if peer < 0 || peer >= len(m.scores) {
 		return 0
 	}
-	maxV := 0.0
-	for _, v := range m.scores {
-		if v > maxV {
-			maxV = v
-		}
-	}
-	if maxV == 0 {
+	if m.normMax == 0 {
 		return 0
 	}
-	return m.scores[peer] / maxV
+	return m.scores[peer] / m.normMax
 }
 
 // Scores implements reputation.Mechanism.
 func (m *Mechanism) Scores() []float64 {
-	out := make([]float64, len(m.scores))
-	maxV := 0.0
-	for _, v := range m.scores {
-		if v > maxV {
-			maxV = v
-		}
-	}
-	if maxV == 0 {
-		return out
-	}
-	for i, v := range m.scores {
-		out[i] = v / maxV
-	}
-	return out
+	return append([]float64(nil), m.norm...)
 }
+
+// ScoresView implements reputation.ScoresViewer: the max-normalized scores
+// without the copy. Read-only; valid until the next Compute or restore.
+func (m *Mechanism) ScoresView() []float64 { return m.norm }
+
+var _ reputation.ScoresViewer = (*Mechanism)(nil)
 
 // DistributedResult reports the cost of a distributed computation.
 type DistributedResult struct {
@@ -225,10 +288,10 @@ func (m *Mechanism) RunDistributed(net *overlay.Network, maxRounds int) (Distrib
 		maxRounds = m.cfg.MaxIter
 	}
 	n := m.cfg.N
-	rows := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		rows[i] = m.lt.NormalizedRow(i, m.pretrust)
-	}
+	// Sync the sparse matrix; peers with no positive opinions follow the
+	// pretrust distribution (the paper's dangling-row rule), iterated on
+	// the fly instead of materialized as dense rows.
+	m.refreshMatrix()
 	t := append([]float64(nil), m.pretrust...)
 	accum := make([]float64, n)
 
@@ -252,12 +315,21 @@ func (m *Mechanism) RunDistributed(net *overlay.Network, maxRounds int) (Distrib
 			}
 		}
 		for i := 0; i < n; i++ {
-			if !net.Alive(overlay.NodeID(i)) {
+			if !net.Alive(overlay.NodeID(i)) || t[i] <= 0 {
 				continue
 			}
-			for j, c := range rows[i] {
-				if c > 0 && t[i] > 0 {
-					net.Send(overlay.NodeID(i), overlay.NodeID(j), "et-contrib", contrib{value: c * t[i]})
+			if m.csr.RowEmpty(i) {
+				for j, c := range m.pretrust {
+					if c > 0 {
+						net.Send(overlay.NodeID(i), overlay.NodeID(j), "et-contrib", contrib{value: c * t[i]})
+					}
+				}
+				continue
+			}
+			cols, vals := m.csr.Row(i)
+			for k, j := range cols {
+				if vals[k] > 0 {
+					net.Send(overlay.NodeID(i), overlay.NodeID(int(j)), "et-contrib", contrib{value: vals[k] * t[i]})
 				}
 			}
 		}
@@ -284,6 +356,7 @@ func (m *Mechanism) RunDistributed(net *overlay.Network, maxRounds int) (Distrib
 	for j := 0; j < n; j++ {
 		res.MaxDiff += math.Abs(t[j] - m.scores[j])
 	}
-	m.scores = t
+	copy(m.scores, t)
+	m.refreshNorm()
 	return res, nil
 }

@@ -9,7 +9,11 @@ import (
 )
 
 // mechanismState is the gob-serialized mutable state of the mechanism. The
-// pre-trust vector is configuration and is rebuilt by New.
+// pre-trust vector is configuration and is rebuilt by New. The local-trust
+// matrix travels in its sparse form, dirty set included; the CSR itself is
+// derived state and is rematerialized from the matrix on the first Compute
+// after a restore — row materialization is pure, so restore-then-run is
+// bit-for-bit identical to an uninterrupted run.
 type mechanismState struct {
 	LT     reputation.LocalTrustState
 	Scores []float64
@@ -42,8 +46,10 @@ func (m *Mechanism) RestoreMechanismState(data []byte) error {
 	if err := m.lt.SetState(st.LT); err != nil {
 		return fmt.Errorf("eigentrust: %w", err)
 	}
-	m.scores = append([]float64(nil), st.Scores...)
+	copy(m.scores, st.Scores)
+	m.refreshNorm()
 	m.dirty = st.Dirty
+	m.materialized = false
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/linalg"
 	"repro/internal/reputation"
 )
 
@@ -64,16 +65,60 @@ type pair struct {
 	count int
 }
 
-// Mechanism is the PowerTrust scoring engine.
+// Mechanism is the PowerTrust scoring engine. The row-normalized feedback
+// matrix R lives in a CSR whose rows are rematerialized incrementally from
+// a per-row dirty set; silent peers are dangling rows handled by the
+// kernel's rank-one uniform correction instead of a dense uniform fill. The
+// (look-ahead) random walk runs the shared shard-parallel SpMV on reusable
+// buffers, bit-for-bit identical for every worker count.
 type Mechanism struct {
 	cfg      Config
 	feedback []map[int]*pair // feedback[i][j]: i's ratings of j
 	scores   []float64
 	power    []int
 	dirty    bool
+
+	// Sparse kernel state.
+	csr          *linalg.CSR
+	ws           linalg.Workspace
+	workers      int
+	materialized bool               // false forces a full CSR rebuild on next Compute
+	dirtyRows    map[int32]struct{} // rows whose CSR materialization is stale
+	uniform      []float64          // the dangling-row jump distribution 1/n
+	jump         []float64          // power-node jump distribution (reused)
+	// Reusable iteration and materialization scratch.
+	vecA, vecB, vecMid []float64
+	colScratch         []int32
+	valScratch         []float64
+	// Max-normalized score cache backing ScoresView.
+	norm    []float64
+	normMax float64
 }
 
 var _ reputation.Mechanism = (*Mechanism)(nil)
+
+func newMech(cfg Config) *Mechanism {
+	m := &Mechanism{
+		cfg:          cfg,
+		feedback:     make([]map[int]*pair, cfg.N),
+		workers:      1,
+		csr:          linalg.New(cfg.N),
+		materialized: true, // a fresh CSR matches the empty feedback graph
+		dirtyRows:    make(map[int32]struct{}),
+		uniform:      reputation.UniformPretrust(cfg.N),
+		jump:         make([]float64, cfg.N),
+		vecA:         make([]float64, cfg.N),
+		vecB:         make([]float64, cfg.N),
+		vecMid:       make([]float64, cfg.N),
+		norm:         make([]float64, cfg.N),
+	}
+	m.scores = make([]float64, cfg.N)
+	for i := range m.scores {
+		m.scores[i] = 1 / float64(cfg.N)
+	}
+	m.refreshNorm()
+	return m
+}
 
 // New builds the mechanism with look-ahead enabled by default.
 func New(cfg Config) (*Mechanism, error) {
@@ -85,12 +130,7 @@ func New(cfg Config) (*Mechanism, error) {
 	if !lookAheadSet {
 		cfg.LookAhead = true
 	}
-	m := &Mechanism{cfg: cfg, feedback: make([]map[int]*pair, cfg.N)}
-	m.scores = make([]float64, cfg.N)
-	for i := range m.scores {
-		m.scores[i] = 1 / float64(cfg.N)
-	}
-	return m, nil
+	return newMech(cfg), nil
 }
 
 // NewPlain builds the mechanism with look-ahead disabled (the ablation
@@ -102,13 +142,20 @@ func NewPlain(cfg Config) (*Mechanism, error) {
 		return nil, err
 	}
 	cfgd.LookAhead = false
-	m := &Mechanism{cfg: cfgd, feedback: make([]map[int]*pair, cfgd.N)}
-	m.scores = make([]float64, cfgd.N)
-	for i := range m.scores {
-		m.scores[i] = 1 / float64(cfgd.N)
-	}
-	return m, nil
+	return newMech(cfgd), nil
 }
+
+// SetComputeShards implements reputation.ComputeSharder: Compute's SpMV
+// scatters over k workers. Shards are a scheduling knob only — scores stay
+// bit-for-bit identical for every k.
+func (m *Mechanism) SetComputeShards(k int) {
+	if k < 1 {
+		k = 1
+	}
+	m.workers = k
+}
+
+var _ reputation.ComputeSharder = (*Mechanism)(nil)
 
 // Name implements reputation.Mechanism.
 func (m *Mechanism) Name() string {
@@ -144,6 +191,7 @@ func (m *Mechanism) Submit(r reputation.Report) error {
 	p.sum += v
 	p.count++
 	m.dirty = true
+	m.dirtyRows[int32(r.Rater)] = struct{}{}
 	return nil
 }
 
@@ -213,60 +261,90 @@ func (m *Mechanism) TrustworthyFraction() float64 {
 
 var _ reputation.CommunityAssessor = (*Mechanism)(nil)
 
-// PowerNodes returns the most recently elected power nodes.
+// PowerNodes returns a copy of the most recently elected power nodes.
 func (m *Mechanism) PowerNodes() []int {
 	out := make([]int, len(m.power))
 	copy(out, m.power)
 	return out
 }
 
-// rows materializes the row-normalized feedback matrix R (mean ratings,
-// uniform rows for silent peers).
-func (m *Mechanism) rows() [][]float64 {
-	n := m.cfg.N
-	uniform := 1 / float64(n)
-	rows := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		row := make([]float64, n)
-		sum := 0.0
-		for j, p := range m.feedback[i] {
-			row[j] = p.sum / float64(p.count)
-		}
-		for _, v := range row { // fixed order: deterministic float rounding
-			sum += v
-		}
-		if sum == 0 {
-			for j := range row {
-				row[j] = uniform
-			}
-		} else {
-			for j := range row {
-				row[j] /= sum
-			}
-		}
-		rows[i] = row
+// PowerNodesView returns the most recently elected power nodes without
+// copying — the read-only fast path for observer loops that poll each
+// recompute (experiment drivers, metrics collection). The slice is valid
+// until the next Compute or restore; callers that retain or mutate it must
+// use PowerNodes.
+func (m *Mechanism) PowerNodesView() []int { return m.power }
+
+// refreshMatrix rematerializes the CSR rows of the row-normalized feedback
+// matrix R (mean ratings) whose feedback changed since the last
+// materialization — only the dirty set in steady state, every row after a
+// snapshot restore. Rows whose ratings sum to zero are cleared: they are
+// dangling, and the SpMV's rank-one correction jumps their weight uniformly
+// instead of storing a dense uniform row. Materialization is a pure
+// function of the row's current feedback, so the incremental matrix is
+// bit-for-bit identical to a from-scratch rebuild.
+func (m *Mechanism) refreshMatrix() {
+	if m.materialized && len(m.dirtyRows) == 0 {
+		return
 	}
-	return rows
+	setRow := func(i int) {
+		cols, vals := m.colScratch[:0], m.valScratch[:0]
+		for j := range m.feedback[i] {
+			cols = append(cols, int32(j))
+		}
+		sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+		for _, j := range cols {
+			p := m.feedback[i][int(j)]
+			vals = append(vals, p.sum/float64(p.count))
+		}
+		m.colScratch, m.valScratch = cols, vals
+		m.csr.SetRow(i, cols, vals)
+		m.csr.NormalizeRow(i)
+	}
+	if !m.materialized {
+		for i := 0; i < m.cfg.N; i++ {
+			setRow(i)
+		}
+		m.materialized = true
+	} else {
+		rows := make([]int32, 0, len(m.dirtyRows))
+		for i := range m.dirtyRows {
+			rows = append(rows, i)
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
+		for _, i := range rows {
+			setRow(int(i))
+		}
+	}
+	clear(m.dirtyRows)
 }
 
-func applyWalk(rows [][]float64, t, next []float64, alpha float64, jump []float64) {
-	n := len(t)
-	for j := range next {
-		next[j] = 0
+// step applies one walk operator application dst = (1−α)·(Rᵀsrc + mᵀ·u) + α·jump,
+// with the dangling mass mᵀ jumping uniformly (u = 1/n).
+func (m *Mechanism) step(dst, src []float64) {
+	m.csr.MulTranspose(dst, src, m.uniform, m.workers, &m.ws)
+	for j := range dst {
+		dst[j] = (1-m.cfg.Alpha)*dst[j] + m.cfg.Alpha*m.jump[j]
 	}
-	for i := 0; i < n; i++ {
-		ti := t[i]
-		if ti == 0 {
-			continue
-		}
-		for j, c := range rows[i] {
-			if c != 0 {
-				next[j] += c * ti
-			}
+}
+
+// refreshNorm rebuilds the max-normalized score cache behind ScoresView.
+func (m *Mechanism) refreshNorm() {
+	maxV := 0.0
+	for _, v := range m.scores {
+		if v > maxV {
+			maxV = v
 		}
 	}
-	for j := 0; j < n; j++ {
-		next[j] = (1-alpha)*next[j] + alpha*jump[j]
+	m.normMax = maxV
+	if maxV == 0 {
+		for i := range m.norm {
+			m.norm[i] = 0
+		}
+		return
+	}
+	for i, v := range m.scores {
+		m.norm[i] = v / maxV
 	}
 }
 
@@ -274,32 +352,35 @@ func applyWalk(rows [][]float64, t, next []float64, alpha float64, jump []float6
 // L1 change drops below Epsilon. One look-ahead round applies the walk
 // operator twice — each node aggregates its neighbors' own aggregated
 // vectors, which is exactly one extra message exchange but halves the round
-// count. Returns the number of rounds.
+// count. Returns the number of rounds. Only dirty CSR rows are
+// rematerialized, the walk reuses the mechanism's buffers, and the SpMV
+// scatters over the configured worker shards with a canonical fold, so the
+// result is identical for every worker count.
 func (m *Mechanism) Compute() int {
 	if !m.dirty {
 		return 0
 	}
 	n := m.cfg.N
 	m.power = m.electPowerNodes()
-	jump := make([]float64, n)
+	for j := range m.jump {
+		m.jump[j] = 0
+	}
 	share := 1 / float64(len(m.power))
 	for _, p := range m.power {
-		jump[p] = share
+		m.jump[p] = share
 	}
-	rows := m.rows()
-	t := make([]float64, n)
+	m.refreshMatrix()
+	t, next, mid := m.vecA, m.vecB, m.vecMid
 	for i := range t {
 		t[i] = 1 / float64(n)
 	}
-	next := make([]float64, n)
-	mid := make([]float64, n)
 	rounds := 0
 	for ; rounds < m.cfg.MaxIter; rounds++ {
 		if m.cfg.LookAhead {
-			applyWalk(rows, t, mid, m.cfg.Alpha, jump)
-			applyWalk(rows, mid, next, m.cfg.Alpha, jump)
+			m.step(mid, t)
+			m.step(next, mid)
 		} else {
-			applyWalk(rows, t, next, m.cfg.Alpha, jump)
+			m.step(next, t)
 		}
 		diff := 0.0
 		for j := 0; j < n; j++ {
@@ -311,7 +392,9 @@ func (m *Mechanism) Compute() int {
 			break
 		}
 	}
-	m.scores = t
+	copy(m.scores, t)
+	m.vecA, m.vecB = t, next // keep the buffer pair owned by the mechanism
+	m.refreshNorm()
 	m.dirty = false
 	return rounds
 }
@@ -328,32 +411,19 @@ func (m *Mechanism) Score(peer int) float64 {
 	if peer < 0 || peer >= len(m.scores) {
 		return 0
 	}
-	maxV := 0.0
-	for _, v := range m.scores {
-		if v > maxV {
-			maxV = v
-		}
-	}
-	if maxV == 0 {
+	if m.normMax == 0 {
 		return 0
 	}
-	return m.scores[peer] / maxV
+	return m.scores[peer] / m.normMax
 }
 
 // Scores implements reputation.Mechanism.
 func (m *Mechanism) Scores() []float64 {
-	out := make([]float64, len(m.scores))
-	maxV := 0.0
-	for _, v := range m.scores {
-		if v > maxV {
-			maxV = v
-		}
-	}
-	if maxV == 0 {
-		return out
-	}
-	for i, v := range m.scores {
-		out[i] = v / maxV
-	}
-	return out
+	return append([]float64(nil), m.norm...)
 }
+
+// ScoresView implements reputation.ScoresViewer: the max-normalized scores
+// without the copy. Read-only; valid until the next Compute or restore.
+func (m *Mechanism) ScoresView() []float64 { return m.norm }
+
+var _ reputation.ScoresViewer = (*Mechanism)(nil)

@@ -16,12 +16,17 @@ type feedbackEntry struct {
 	Count        int
 }
 
-// mechanismState is the gob-serialized mutable state of the mechanism.
+// mechanismState is the gob-serialized mutable state of the mechanism. The
+// CSR is derived state: it is rematerialized from the feedback graph on the
+// first Compute after a restore (materialization is pure, so restore-then-
+// run matches an uninterrupted run bit for bit). DirtyRows carries the
+// pending incremental-rebuild set for representation fidelity.
 type mechanismState struct {
-	Feedback []feedbackEntry
-	Scores   []float64
-	Power    []int
-	Dirty    bool
+	Feedback  []feedbackEntry
+	Scores    []float64
+	Power     []int
+	Dirty     bool
+	DirtyRows []int32
 }
 
 // MechanismState implements reputation.Snapshotter.
@@ -31,6 +36,10 @@ func (m *Mechanism) MechanismState() ([]byte, error) {
 		Power:  append([]int(nil), m.power...),
 		Dirty:  m.dirty,
 	}
+	for i := range m.dirtyRows {
+		st.DirtyRows = append(st.DirtyRows, i)
+	}
+	sort.Slice(st.DirtyRows, func(a, b int) bool { return st.DirtyRows[a] < st.DirtyRows[b] })
 	for i, row := range m.feedback {
 		for j, p := range row {
 			st.Feedback = append(st.Feedback, feedbackEntry{Rater: i, Ratee: j, Sum: p.sum, Count: p.count})
@@ -70,10 +79,20 @@ func (m *Mechanism) RestoreMechanismState(data []byte) error {
 		}
 		feedback[e.Rater][e.Ratee] = &pair{sum: e.Sum, count: e.Count}
 	}
+	dirtyRows := make(map[int32]struct{}, len(st.DirtyRows))
+	for _, i := range st.DirtyRows {
+		if i < 0 || int(i) >= m.cfg.N {
+			return fmt.Errorf("powertrust: dirty row %d out of range [0,%d)", i, m.cfg.N)
+		}
+		dirtyRows[i] = struct{}{}
+	}
 	m.feedback = feedback
-	m.scores = append([]float64(nil), st.Scores...)
+	copy(m.scores, st.Scores)
+	m.refreshNorm()
 	m.power = append([]int(nil), st.Power...)
 	m.dirty = st.Dirty
+	m.dirtyRows = dirtyRows
+	m.materialized = false
 	return nil
 }
 

@@ -9,6 +9,7 @@ package reputation
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -42,6 +43,40 @@ type Mechanism interface {
 // sat/unsat bookkeeping).
 const SatThreshold = 0.5
 
+// ScoresViewer is implemented by mechanisms that can expose their current
+// score vector without copying. The returned slice is READ-ONLY and valid
+// only until the mechanism's next Compute, Submit-triggered recompute, or
+// state restore: callers that need to retain or mutate scores must use
+// Scores() instead. It exists for the per-round observer paths (candidate
+// gating, facet measurement) that would otherwise copy n floats every
+// round.
+type ScoresViewer interface {
+	// ScoresView returns the same values Scores() would, uncopied.
+	ScoresView() []float64
+}
+
+// ScoresOf returns m's scores through the read-only fast path when the
+// mechanism offers one, falling back to the copying accessor. The result
+// must be treated as read-only and not retained across mechanism mutations
+// (see ScoresViewer).
+func ScoresOf(m Mechanism) []float64 {
+	if v, ok := m.(ScoresViewer); ok {
+		return v.ScoresView()
+	}
+	return m.Scores()
+}
+
+// ComputeSharder is implemented by mechanisms whose Compute scatters work
+// over parallel worker shards. Implementations guarantee the epoch
+// pipeline's determinism contract: scores are bit-for-bit identical for
+// every shard count, so the engine may wire its scheduling configuration
+// straight through.
+type ComputeSharder interface {
+	// SetComputeShards sets the worker count used by Compute (values < 1
+	// are clamped to 1).
+	SetComputeShards(k int)
+}
+
 // CommunityAssessor is implemented by mechanisms that can report their
 // conclusion about the population: the fraction of rated peers the
 // mechanism considers trustworthy. Section 3 of the paper makes this a
@@ -56,13 +91,21 @@ type CommunityAssessor interface {
 	TrustworthyFraction() float64
 }
 
+// cell is one (rater, ratee) aggregate of the local-trust matrix.
+type cell struct{ sat, unsat int32 }
+
 // LocalTrust accumulates reports into EigenTrust-style local trust values:
 // s_ij = sat(i,j) − unsat(i,j), and normalized rows
 // c_ij = max(s_ij,0) / Σ_j max(s_ij,0).
+//
+// The matrix is stored sparsely — one map per rater, holding only pairs
+// that ever exchanged a report — and tracks which rows changed since the
+// mechanism last materialized them (the dirty set), so a recompute touches
+// O(changed rows), not Θ(n²).
 type LocalTrust struct {
 	n     int
-	sat   [][]int32
-	unsat [][]int32
+	rows  []map[int32]cell
+	dirty map[int32]struct{}
 }
 
 // NewLocalTrust returns an empty matrix for n peers.
@@ -70,18 +113,17 @@ func NewLocalTrust(n int) *LocalTrust {
 	if n < 0 {
 		n = 0
 	}
-	lt := &LocalTrust{n: n}
-	lt.sat = make([][]int32, n)
-	lt.unsat = make([][]int32, n)
-	for i := 0; i < n; i++ {
-		lt.sat[i] = make([]int32, n)
-		lt.unsat[i] = make([]int32, n)
+	return &LocalTrust{
+		n:     n,
+		rows:  make([]map[int32]cell, n),
+		dirty: make(map[int32]struct{}),
 	}
-	return lt
 }
 
 // N returns the matrix dimension.
 func (l *LocalTrust) N() int { return l.n }
+
+func (l *LocalTrust) markDirty(i int) { l.dirty[int32(i)] = struct{}{} }
 
 // Add folds a report into the matrix. Ratings >= SatThreshold count as
 // satisfactory. Out-of-range peers or self-ratings are rejected.
@@ -92,11 +134,17 @@ func (l *LocalTrust) Add(r Report) error {
 	if r.Rater == r.Ratee {
 		return fmt.Errorf("reputation: self-rating by %d rejected", r.Rater)
 	}
-	if r.Value >= SatThreshold {
-		l.sat[r.Rater][r.Ratee]++
-	} else {
-		l.unsat[r.Rater][r.Ratee]++
+	if l.rows[r.Rater] == nil {
+		l.rows[r.Rater] = make(map[int32]cell)
 	}
+	c := l.rows[r.Rater][int32(r.Ratee)]
+	if r.Value >= SatThreshold {
+		c.sat++
+	} else {
+		c.unsat++
+	}
+	l.rows[r.Rater][int32(r.Ratee)] = c
+	l.markDirty(r.Rater)
 	return nil
 }
 
@@ -105,16 +153,41 @@ func (l *LocalTrust) S(i, j int) float64 {
 	if i < 0 || i >= l.n || j < 0 || j >= l.n {
 		return 0
 	}
-	v := l.sat[i][j] - l.unsat[i][j]
+	c := l.rows[i][int32(j)]
+	v := c.sat - c.unsat
 	if v < 0 {
 		return 0
 	}
 	return float64(v)
 }
 
-// NormalizedRow returns row i of the normalized matrix C. If the row is
-// empty (peer i has no positive local trust), the pretrust distribution is
-// returned instead, per the EigenTrust paper.
+// AppendRow appends row i's positive local-trust entries — column indices
+// ascending, values s_ij > 0 — to the given scratch slices and returns
+// them. It is the materialization feed of the mechanisms' CSR rebuild.
+func (l *LocalTrust) AppendRow(i int, cols []int32, vals []float64) ([]int32, []float64) {
+	if i < 0 || i >= l.n {
+		return cols, vals
+	}
+	start := len(cols)
+	for j, c := range l.rows[i] {
+		if c.sat > c.unsat {
+			cols = append(cols, j)
+		}
+	}
+	row := cols[start:]
+	sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+	for _, j := range row {
+		c := l.rows[i][j]
+		vals = append(vals, float64(c.sat-c.unsat))
+	}
+	return cols, vals
+}
+
+// NormalizedRow returns row i of the normalized matrix C as a dense vector.
+// If the row is empty (peer i has no positive local trust), the pretrust
+// distribution is returned instead, per the EigenTrust paper. It exists for
+// single-row inspection and the dense reference implementation; the compute
+// path materializes rows sparsely via AppendRow.
 func (l *LocalTrust) NormalizedRow(i int, pretrust []float64) []float64 {
 	row := make([]float64, l.n)
 	sum := 0.0
@@ -135,20 +208,23 @@ func (l *LocalTrust) NormalizedRow(i int, pretrust []float64) []float64 {
 // NetPositiveFraction returns, over peers that received at least one
 // rating, the fraction whose incoming net trust Σ_i (sat_i − unsat_i) is
 // positive — the matrix's conclusion about community trustworthiness.
-// It returns 1 when no peer has incoming ratings.
+// It returns 1 when no peer has incoming ratings. Cost: O(nnz).
 func (l *LocalTrust) NetPositiveFraction() float64 {
+	net := make([]int32, l.n)
+	seen := make([]int32, l.n)
+	for _, row := range l.rows {
+		for j, c := range row {
+			net[j] += c.sat - c.unsat
+			seen[j] += c.sat + c.unsat
+		}
+	}
 	rated, positive := 0, 0
 	for p := 0; p < l.n; p++ {
-		var net, seen int32
-		for i := 0; i < l.n; i++ {
-			net += l.sat[i][p] - l.unsat[i][p]
-			seen += l.sat[i][p] + l.unsat[i][p]
-		}
-		if seen == 0 {
+		if seen[p] == 0 {
 			continue
 		}
 		rated++
-		if net > 0 {
+		if net[p] > 0 {
 			positive++
 		}
 	}
@@ -160,26 +236,53 @@ func (l *LocalTrust) NetPositiveFraction() float64 {
 
 // ResetPeer erases all local trust involving a peer — the matrix state a
 // whitewasher's fresh identity would present (no one has rated it, it has
-// rated no one).
+// rated no one). Every touched row joins the dirty set.
 func (l *LocalTrust) ResetPeer(i int) {
 	if i < 0 || i >= l.n {
 		return
 	}
-	for j := 0; j < l.n; j++ {
-		l.sat[i][j], l.unsat[i][j] = 0, 0
-		l.sat[j][i], l.unsat[j][i] = 0, 0
+	if l.rows[i] != nil {
+		l.rows[i] = nil
+		l.markDirty(i)
+	}
+	for k, row := range l.rows {
+		if _, ok := row[int32(i)]; ok {
+			delete(row, int32(i))
+			l.markDirty(k)
+		}
 	}
 }
 
 // HasOutgoing reports whether peer i has any positive local trust.
 func (l *LocalTrust) HasOutgoing(i int) bool {
-	for j := 0; j < l.n; j++ {
-		if l.S(i, j) > 0 {
+	if i < 0 || i >= l.n {
+		return false
+	}
+	for _, c := range l.rows[i] {
+		if c.sat > c.unsat {
 			return true
 		}
 	}
 	return false
 }
+
+// DirtyRows returns, in ascending order, the rows changed since the last
+// ClearDirty — the rows whose CSR materialization is stale.
+func (l *LocalTrust) DirtyRows() []int {
+	out := make([]int, 0, len(l.dirty))
+	for i := range l.dirty {
+		out = append(out, int(i))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasDirty reports whether any row changed since the last ClearDirty.
+func (l *LocalTrust) HasDirty() bool { return len(l.dirty) > 0 }
+
+// ClearDirty empties the dirty set (called after the mechanism has
+// rematerialized the rows it reported).
+func (l *LocalTrust) ClearDirty() { clear(l.dirty) }
 
 // UniformPretrust returns the uniform distribution over n peers.
 func UniformPretrust(n int) []float64 {
@@ -194,19 +297,28 @@ func UniformPretrust(n int) []float64 {
 }
 
 // PretrustOver returns the distribution concentrated uniformly on the given
-// pre-trusted peers (uniform over all peers when the set is empty).
-func PretrustOver(n int, trusted []int) []float64 {
+// pre-trusted peers. The set must be non-empty, in range, and free of
+// duplicates: an empty set would yield a degenerate all-zero vector (use
+// UniformPretrust for uniform pre-trust), a silently-skipped invalid id
+// would leave the distribution summing below 1, and a duplicated id would
+// skew double weight onto one peer — all three are configuration mistakes
+// the caller must hear about, not absorb.
+func PretrustOver(n int, trusted []int) ([]float64, error) {
 	if len(trusted) == 0 {
-		return UniformPretrust(n)
+		return nil, fmt.Errorf("reputation: empty pre-trusted set (use UniformPretrust for uniform pre-trust)")
 	}
 	p := make([]float64, n)
 	share := 1 / float64(len(trusted))
 	for _, i := range trusted {
-		if i >= 0 && i < n {
-			p[i] += share
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("reputation: pre-trusted peer %d out of range [0,%d)", i, n)
 		}
+		if p[i] != 0 {
+			return nil, fmt.Errorf("reputation: duplicate pre-trusted peer %d", i)
+		}
+		p[i] = share
 	}
-	return p
+	return p, nil
 }
 
 // Gatherer implements the "information gathering" block under privacy
@@ -317,10 +429,19 @@ func SelectProportional(rng *sim.RNG, scores []float64, candidates []int) int {
 
 // None is the no-reputation baseline: every peer scores the same neutral
 // value, so response policies degrade to uniform choice.
-type None struct{ n int }
+type None struct {
+	n      int
+	scores []float64
+}
 
 // NewNone returns the baseline for n peers.
-func NewNone(n int) *None { return &None{n: n} }
+func NewNone(n int) *None {
+	m := &None{n: n, scores: make([]float64, n)}
+	for i := range m.scores {
+		m.scores[i] = 0.5
+	}
+	return m
+}
 
 // Name implements Mechanism.
 func (*None) Name() string { return "none" }
@@ -336,11 +457,13 @@ func (*None) Score(int) float64 { return 0.5 }
 
 // Scores implements Mechanism.
 func (m *None) Scores() []float64 {
-	s := make([]float64, m.n)
-	for i := range s {
-		s[i] = 0.5
-	}
-	return s
+	return append([]float64(nil), m.scores...)
 }
 
-var _ Mechanism = (*None)(nil)
+// ScoresView implements ScoresViewer (the baseline's scores never change).
+func (m *None) ScoresView() []float64 { return m.scores }
+
+var (
+	_ Mechanism    = (*None)(nil)
+	_ ScoresViewer = (*None)(nil)
+)

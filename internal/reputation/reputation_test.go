@@ -75,7 +75,10 @@ func TestNormalizedRowSumsToOne(t *testing.T) {
 
 func TestNormalizedRowEmptyFallsBackToPretrust(t *testing.T) {
 	lt := NewLocalTrust(3)
-	pre := PretrustOver(3, []int{2})
+	pre, err := PretrustOver(3, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	row := lt.NormalizedRow(0, pre)
 	if row[2] != 1 || row[0] != 0 {
 		t.Fatalf("empty row = %v, want pretrust", row)
@@ -86,21 +89,108 @@ func TestNormalizedRowEmptyFallsBackToPretrust(t *testing.T) {
 }
 
 func TestPretrustOver(t *testing.T) {
-	p := PretrustOver(4, []int{1, 3})
+	p, err := PretrustOver(4, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p[1] != 0.5 || p[3] != 0.5 || p[0] != 0 {
 		t.Fatalf("pretrust = %v", p)
 	}
-	u := PretrustOver(4, nil)
-	for _, v := range u {
-		if v != 0.25 {
-			t.Fatalf("uniform fallback = %v", u)
+}
+
+func TestPretrustOverRejectsDegenerateSets(t *testing.T) {
+	// An empty set would produce an all-zero vector: the caller must choose
+	// UniformPretrust explicitly.
+	if _, err := PretrustOver(4, nil); err == nil {
+		t.Fatal("empty trusted set accepted")
+	}
+	// A silently-skipped invalid id would leave the distribution summing
+	// below 1.
+	if _, err := PretrustOver(2, []int{0, 5}); err == nil {
+		t.Fatal("out-of-range trusted id accepted")
+	}
+	if _, err := PretrustOver(2, []int{-1}); err == nil {
+		t.Fatal("negative trusted id accepted")
+	}
+	// A duplicate would skew double weight onto one peer.
+	if _, err := PretrustOver(4, []int{1, 1}); err == nil {
+		t.Fatal("duplicate trusted id accepted")
+	}
+}
+
+func TestLocalTrustDirtySet(t *testing.T) {
+	lt := NewLocalTrust(4)
+	if lt.HasDirty() {
+		t.Fatal("fresh matrix dirty")
+	}
+	_ = lt.Add(Report{Rater: 2, Ratee: 1, Value: 0.9})
+	_ = lt.Add(Report{Rater: 0, Ratee: 3, Value: 0.2})
+	if got := lt.DirtyRows(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("dirty rows = %v, want [0 2]", got)
+	}
+	lt.ClearDirty()
+	if lt.HasDirty() {
+		t.Fatal("dirty set survived ClearDirty")
+	}
+	// ResetPeer dirties the peer's own row and every row that rated it.
+	lt.ResetPeer(1)
+	if got := lt.DirtyRows(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("dirty rows after reset = %v, want [2]", got)
+	}
+}
+
+func TestLocalTrustAppendRow(t *testing.T) {
+	lt := NewLocalTrust(5)
+	_ = lt.Add(Report{Rater: 0, Ratee: 3, Value: 0.9})
+	_ = lt.Add(Report{Rater: 0, Ratee: 1, Value: 0.9})
+	_ = lt.Add(Report{Rater: 0, Ratee: 1, Value: 0.8})
+	// Net-negative pairs are excluded (s clamped at 0).
+	_ = lt.Add(Report{Rater: 0, Ratee: 2, Value: 0.1})
+	cols, vals := lt.AppendRow(0, nil, nil)
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 3 {
+		t.Fatalf("cols = %v, want [1 3]", cols)
+	}
+	if vals[0] != 2 || vals[1] != 1 {
+		t.Fatalf("vals = %v, want [2 1]", vals)
+	}
+}
+
+func TestLocalTrustStateRoundTrip(t *testing.T) {
+	lt := NewLocalTrust(4)
+	_ = lt.Add(Report{Rater: 0, Ratee: 1, Value: 0.9})
+	_ = lt.Add(Report{Rater: 3, Ratee: 2, Value: 0.1})
+	lt.ClearDirty()
+	_ = lt.Add(Report{Rater: 2, Ratee: 0, Value: 0.7}) // pending dirty row
+	st := lt.State()
+	if len(st.Dirty) != 1 || st.Dirty[0] != 2 {
+		t.Fatalf("state dirty = %v, want [2]", st.Dirty)
+	}
+	restored := NewLocalTrust(4)
+	if err := restored.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if restored.S(i, j) != lt.S(i, j) {
+				t.Fatalf("S(%d,%d) mismatch after round-trip", i, j)
+			}
 		}
 	}
-	// Out-of-range trusted ids are skipped but weight distribution stays
-	// over the valid ones only.
-	p2 := PretrustOver(2, []int{0, 5})
-	if p2[0] != 0.5 {
-		t.Fatalf("pretrust with invalid id = %v", p2)
+	if got := restored.DirtyRows(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("restored dirty rows = %v, want [2]", got)
+	}
+	// Equal matrices must encode to equal (canonical) states.
+	st2 := restored.State()
+	if len(st2.Entries) != len(st.Entries) {
+		t.Fatalf("entry count changed: %d vs %d", len(st2.Entries), len(st.Entries))
+	}
+	for k := range st.Entries {
+		if st.Entries[k] != st2.Entries[k] {
+			t.Fatalf("entry %d changed: %+v vs %+v", k, st.Entries[k], st2.Entries[k])
+		}
+	}
+	if err := restored.SetState(LocalTrustState{N: 9}); err == nil {
+		t.Fatal("wrong-dimension state accepted")
 	}
 }
 

@@ -2,6 +2,7 @@ package reputation
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -21,34 +22,70 @@ type Snapshotter interface {
 	RestoreMechanismState(data []byte) error
 }
 
-// LocalTrustState is the serializable state of a LocalTrust matrix.
+// LocalTrustEntry is one (rater, ratee) aggregate of a serialized
+// local-trust matrix.
+type LocalTrustEntry struct {
+	I, J       int32
+	Sat, Unsat int32
+}
+
+// LocalTrustState is the serializable state of a LocalTrust matrix: the
+// sparse entry list (sorted by rater, then ratee, so equal matrices encode
+// to equal blobs) plus the dirty-row set, so a restored mechanism knows
+// which rows still await rematerialization.
 type LocalTrustState struct {
-	N          int
-	Sat, Unsat [][]int32
+	N       int
+	Entries []LocalTrustEntry
+	Dirty   []int32
 }
 
 // State captures the matrix.
 func (l *LocalTrust) State() LocalTrustState {
-	st := LocalTrustState{N: l.n, Sat: make([][]int32, l.n), Unsat: make([][]int32, l.n)}
-	for i := 0; i < l.n; i++ {
-		st.Sat[i] = append([]int32(nil), l.sat[i]...)
-		st.Unsat[i] = append([]int32(nil), l.unsat[i]...)
+	st := LocalTrustState{N: l.n}
+	for i, row := range l.rows {
+		for j, c := range row {
+			st.Entries = append(st.Entries, LocalTrustEntry{I: int32(i), J: j, Sat: c.sat, Unsat: c.unsat})
+		}
 	}
+	// Map iteration order is random; canonicalize.
+	sort.Slice(st.Entries, func(a, b int) bool {
+		if st.Entries[a].I != st.Entries[b].I {
+			return st.Entries[a].I < st.Entries[b].I
+		}
+		return st.Entries[a].J < st.Entries[b].J
+	})
+	for i := range l.dirty {
+		st.Dirty = append(st.Dirty, i)
+	}
+	sort.Slice(st.Dirty, func(a, b int) bool { return st.Dirty[a] < st.Dirty[b] })
 	return st
 }
 
-// SetState restores a captured matrix of the same dimension.
+// SetState restores a captured matrix of the same dimension, replacing the
+// current contents and dirty set.
 func (l *LocalTrust) SetState(st LocalTrustState) error {
-	if st.N != l.n || len(st.Sat) != l.n || len(st.Unsat) != l.n {
+	if st.N != l.n {
 		return fmt.Errorf("reputation: local-trust state for %d peers, want %d", st.N, l.n)
 	}
-	for i := 0; i < l.n; i++ {
-		if len(st.Sat[i]) != l.n || len(st.Unsat[i]) != l.n {
-			return fmt.Errorf("reputation: ragged local-trust state row %d", i)
+	rows := make([]map[int32]cell, l.n)
+	for _, e := range st.Entries {
+		if e.I < 0 || int(e.I) >= l.n || e.J < 0 || int(e.J) >= l.n {
+			return fmt.Errorf("reputation: local-trust state entry %d->%d out of range [0,%d)", e.I, e.J, l.n)
 		}
-		copy(l.sat[i], st.Sat[i])
-		copy(l.unsat[i], st.Unsat[i])
+		if rows[e.I] == nil {
+			rows[e.I] = make(map[int32]cell)
+		}
+		rows[e.I][e.J] = cell{sat: e.Sat, unsat: e.Unsat}
 	}
+	dirty := make(map[int32]struct{}, len(st.Dirty))
+	for _, i := range st.Dirty {
+		if i < 0 || int(i) >= l.n {
+			return fmt.Errorf("reputation: local-trust dirty row %d out of range [0,%d)", i, l.n)
+		}
+		dirty[i] = struct{}{}
+	}
+	l.rows = rows
+	l.dirty = dirty
 	return nil
 }
 

@@ -226,6 +226,12 @@ func (m *Mechanism) Scores() []float64 {
 	return out
 }
 
+// ScoresView implements reputation.ScoresViewer: the score cache without
+// the copy. Read-only; valid until the next Compute or restore.
+func (m *Mechanism) ScoresView() []float64 { return m.scores }
+
+var _ reputation.ScoresViewer = (*Mechanism)(nil)
+
 // TrustworthyFraction implements reputation.CommunityAssessor: the fraction
 // of peers with THA-stored history whose mean rating is at least 0.5.
 func (m *Mechanism) TrustworthyFraction() float64 {

@@ -291,6 +291,11 @@ func NewEngine(cfg Config, mech reputation.Mechanism) (*Engine, error) {
 		qualSum:     make([]float64, cfg.NumPeers),
 		profileItem: make([]string, cfg.NumPeers),
 	}
+	// Mechanism compute parallelizes under the same shard configuration as
+	// the epoch pipeline (and with the same determinism contract).
+	if cs, ok := mech.(reputation.ComputeSharder); ok {
+		cs.SetComputeShards(cfg.Shards)
+	}
 	for i := range e.profileItem {
 		e.profileItem[i] = "profile/" + strconv.Itoa(i)
 	}
@@ -409,7 +414,9 @@ func (e *Engine) PrivacyFacets() []float64 {
 func (e *Engine) Round() RoundStats {
 	cfg := e.cfg
 	st := RoundStats{Round: e.round}
-	scores := e.mech.Scores()
+	// Read-only fast path: the round only gates and ranks on the scores, so
+	// the per-round n-float copy is skipped when the mechanism offers a view.
+	scores := reputation.ScoresOf(e.mech)
 	gate := -1.0
 	if cfg.TrustGate > 0 {
 		gate = metrics.Quantile(scores, cfg.TrustGate)
@@ -567,7 +574,7 @@ func (e *Engine) Summarize() Summary {
 	// behaviour, over peers that actually served (others have no ground
 	// truth to be consistent with). The served set and ground truth come
 	// from the incremental per-provider accumulators, not a log rescan.
-	scores := e.mech.Scores()
+	scores := reputation.ScoresOf(e.mech)
 	var gtServed, scServed []float64
 	for p, cnt := range e.servedCount {
 		if cnt > 0 {
@@ -626,6 +633,9 @@ func (e *Engine) SetShards(k int) {
 		k = 1
 	}
 	e.shards = k
+	if cs, ok := e.mech.(reputation.ComputeSharder); ok {
+		cs.SetComputeShards(k)
+	}
 }
 
 // SetRoundObserver installs (or, with nil, removes) the callback invoked

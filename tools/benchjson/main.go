@@ -1,7 +1,9 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // document on stdout. CI uses it to turn the sharded-epoch benchmark into
-// BENCH_epoch.json, the artifact that tracks the 1-shard vs N-shard perf
-// trajectory across PRs.
+// BENCH_epoch.json, the sweep benchmark into BENCH_sweep.json, and the
+// mechanism-kernel benchmark (users × density × kernel × workers axes) into
+// BENCH_mechanisms.json — the artifacts that track the perf trajectory
+// across PRs.
 //
 //	go test -run '^$' -bench BenchmarkShardedEpoch . | go run ./tools/benchjson
 package main
@@ -13,6 +15,7 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 )
 
 // benchLine matches e.g.
@@ -34,8 +37,15 @@ type result struct {
 type output struct {
 	Benchmarks map[string]result `json:"benchmarks"`
 	// Speedup is ns/op(parallelism=1) / ns/op(parallelism=K) per case and
-	// K > 1, over the shards= (epoch bench) or workers= (sweep bench) axis
-	// — the headline number the acceptance bar tracks.
+	// K > 1, over the shards= (epoch bench) or workers= (sweep and
+	// mechanism benches) axis — the headline number the acceptance bar
+	// tracks. Cases run at several densities keep the density= token in
+	// their key, so each density row gets its own speedup entry.
+	//
+	// For the mechanism bench, rows whose name differs only in
+	// kernel=sparse vs kernel=dense additionally get a
+	// "kernel=sparse-vs-dense" entry: ns/op(dense) / ns/op(sparse), the
+	// dense-baseline speedup of the CSR kernel.
 	Speedup map[string]float64 `json:"speedup,omitempty"`
 }
 
@@ -95,6 +105,21 @@ func main() {
 			}
 			out.Speedup[fmt.Sprintf("%s/%s=%d", key, axisByCase[key], shards)] = base / ns
 		}
+	}
+	// Kernel axis: pair each kernel=sparse row with its kernel=dense
+	// sibling (same mech/users/density/workers) and report dense/sparse.
+	for name, sparse := range out.Benchmarks {
+		if !strings.Contains(name, "kernel=sparse") {
+			continue
+		}
+		dense, ok := out.Benchmarks[strings.Replace(name, "kernel=sparse", "kernel=dense", 1)]
+		if !ok || sparse.NsPerOp == 0 {
+			continue
+		}
+		if out.Speedup == nil {
+			out.Speedup = map[string]float64{}
+		}
+		out.Speedup[strings.Replace(name, "kernel=sparse", "kernel=sparse-vs-dense", 1)] = dense.NsPerOp / sparse.NsPerOp
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -10,7 +10,12 @@ import (
 
 // snapshotVersion guards the wire format; bump it whenever the serialized
 // state's shape changes incompatibly.
-const snapshotVersion = 1
+//
+// v2: the mechanism states went sparse — eigentrust's LocalTrustState
+// dropped the dense Sat/Unsat matrices for an Entries list + Dirty rows,
+// powertrust gained DirtyRows — so v1 blobs would gob-decode into empty
+// trust matrices if accepted.
+const snapshotVersion = 2
 
 // Snapshot is a complete, serializable checkpoint of an Engine's mutable
 // state: every random-stream position (the workload planner, per-gatherer
