@@ -1,0 +1,159 @@
+// Command trustnetd serves a live trust network: it assembles a scenario's
+// engine, advances coupling epochs on a background loop, and answers
+// reputation queries over an HTTP/JSON API while the simulation runs.
+//
+//	trustnetd -scenario baseline
+//	curl localhost:8321/v1/top?k=5
+//	curl -X POST localhost:8321/v1/reports -d '{"rater":4,"ratee":9,"value":1}'
+//	curl -N 'localhost:8321/v1/epochs/stream?limit=3'
+//	curl -o run.snap localhost:8321/v1/snapshot   # resumes under trustsim -resume
+//
+// Reports submitted over the API are queued and applied at the next epoch
+// boundary, so a served run stays deterministic: the same seed and the same
+// epoch-indexed arrival schedule reproduce the equivalent batch run bit for
+// bit (GET /v1/reports/log exports the schedule for replay).
+//
+// SIGINT/SIGTERM stop the epoch loop between rounds, drain open requests,
+// and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/trustnet"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "trustnetd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored for tests: it blocks until ctx is
+// cancelled (or the listener/loop fails) and calls ready with the base URL
+// once the API is accepting connections.
+func run(ctx context.Context, args []string, w io.Writer, ready func(baseURL string)) error {
+	fs := flag.NewFlagSet("trustnetd", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		scenarioRef = fs.String("scenario", "baseline", "registered scenario name or JSON spec file")
+		addr        = fs.String("addr", "127.0.0.1:8321", "HTTP listen address")
+		maxEpochs   = fs.Int("max-epochs", 0, "epoch budget (0 = advance until stopped; queries outlive the budget)")
+		interval    = fs.Duration("epoch-interval", 250*time.Millisecond, "pause between epochs")
+		shards      = fs.Int("shards", 0, "scatter-gather shards (0 = scenario default; never changes results)")
+		manual      = fs.Bool("manual", false, "no background loop; epochs advance only via POST /v1/advance")
+		resume      = fs.String("resume", "", "restore the engine from a snapshot file before serving")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc, err := trustnet.LoadScenario(*scenarioRef)
+	if err != nil {
+		return err
+	}
+	if *shards > 0 {
+		sc.Shards = *shards
+	}
+	eng, err := sc.NewEngine()
+	if err != nil {
+		return err
+	}
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		snap, err := trustnet.DecodeSnapshot(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := eng.Restore(snap); err != nil {
+			return err
+		}
+	}
+
+	srv, err := serve.New(serve.Config{
+		Engine:        eng,
+		Schedule:      sc.Schedule,
+		MaxEpochs:     *maxEpochs,
+		EpochInterval: *interval,
+		Manual:        *manual,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	if err := srv.Start(ctx); err != nil {
+		httpSrv.Close()
+		return err
+	}
+	baseURL := "http://" + ln.Addr().String()
+	mode := "loop"
+	if *manual {
+		mode = "manual"
+	}
+	fmt.Fprintf(w, "trustnetd: scenario %q (%d peers, %s, %d shards) from epoch %d, %s mode\n",
+		sc.Name, eng.Peers(), eng.Mechanism().Name(), eng.Shards(), eng.EpochIndex(), mode)
+	fmt.Fprintf(w, "trustnetd: listening on %s\n", baseURL)
+	if ready != nil {
+		ready(baseURL)
+	}
+
+	srvDone := srv.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return shutdown(httpSrv, srv, w)
+		case err := <-serveErr:
+			if errors.Is(err, http.ErrServerClosed) {
+				err = nil
+			}
+			return err
+		case <-srvDone:
+			if err := srv.Err(); err != nil {
+				shutdown(httpSrv, srv, w)
+				return err
+			}
+			// Budget exhausted cleanly: the view stays queryable until a
+			// signal arrives.
+			fmt.Fprintf(w, "trustnetd: epoch budget exhausted at epoch %d; still serving queries\n", srv.View().Epoch)
+			srvDone = nil
+		}
+	}
+}
+
+// shutdown drains the HTTP server: graceful with a deadline, then forced,
+// so lingering SSE streams cannot hold the process open.
+func shutdown(httpSrv *http.Server, srv *serve.Server, w io.Writer) error {
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shctx); err != nil {
+		httpSrv.Close()
+	}
+	fmt.Fprintf(w, "trustnetd: stopped at epoch %d\n", srv.View().Epoch)
+	return nil
+}

@@ -6,9 +6,9 @@
 //
 //	trustsim -peers 200 -malicious 0.3 -mechanism eigentrust -disclosure 0.8 -epochs 10
 //
-// Scenarios also run by name (the registered built-ins: quickstart,
-// filesharing, socialfeed, churnstorm, tradeoff) or from a declarative
-// JSON spec file, schedule and all:
+// Scenarios also run by name (the registered built-ins: baseline,
+// quickstart, filesharing, socialfeed, churnstorm, tradeoff) or from a
+// declarative JSON spec file, schedule and all:
 //
 //	trustsim -scenario churnstorm
 //	trustsim -scenario my-study.json
@@ -63,7 +63,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if *scenarioRef != "" {
-		return runScenario(*scenarioRef, *shards, w)
+		return runScenario(*scenarioRef, *shards, *checkpoint, *resume, w)
 	}
 	if *malicious+*selfish > 1 {
 		return fmt.Errorf("malicious + selfish fractions exceed 1")
@@ -155,17 +155,46 @@ func run(args []string, w io.Writer) error {
 // spec file), runs it end to end — schedule included — and prints the same
 // trajectory report as a flag-built run. Shards only reschedule work, so
 // the -shards flag may be applied without touching the result.
-func runScenario(ref string, shards int, w io.Writer) error {
+// -checkpoint/-resume work here too: -resume restores the engine before
+// running (the scenario then budgets sc.Epochs *further* epochs, with
+// schedule entries keyed by absolute epoch index so the remaining ones
+// still fire), which is how a trustnetd /v1/snapshot download is continued
+// offline.
+func runScenario(ref string, shards int, checkpoint, resume string, w io.Writer) error {
 	sc, err := trustnet.LoadScenario(ref)
 	if err != nil {
 		return err
 	}
+	if sc.Epochs <= 0 {
+		return fmt.Errorf("trustsim: scenario %q has no epochs to run (set Epochs > 0)", sc.Name)
+	}
 	if sc.Shards == 0 && shards > 0 {
 		sc.Shards = shards
 	}
-	eng, hist, err := sc.Run(context.Background())
+	eng, err := sc.NewEngine()
 	if err != nil {
 		return err
+	}
+	if resume != "" {
+		if err := restoreEngine(eng, resume); err != nil {
+			return err
+		}
+	}
+	prior := len(eng.History())
+	s, err := eng.Session(context.Background(), trustnet.WithMaxEpochs(sc.Epochs), trustnet.WithSchedule(sc.Schedule))
+	if err != nil {
+		return err
+	}
+	for _, err := range s.Epochs() {
+		if err != nil {
+			return err
+		}
+	}
+	hist := eng.History()[prior:]
+	if checkpoint != "" {
+		if err := checkpointEngine(eng, checkpoint); err != nil {
+			return err
+		}
 	}
 	title := fmt.Sprintf("trustsim scenario %q: %d peers, %s, %d epochs",
 		sc.Name, eng.Peers(), eng.Mechanism().Name(), sc.Epochs)

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -102,6 +105,36 @@ func TestResumeRejectsMismatchedScenario(t *testing.T) {
 	}
 }
 
+// TestResumeRejectsOldVersionSnapshot pins the -resume failure mode for a
+// previous-generation checkpoint: a clear version-mismatch message, not a
+// raw gob decode error.
+func TestResumeRejectsOldVersionSnapshot(t *testing.T) {
+	type v1State struct{ Engine string }
+	type v1Snapshot struct {
+		Version   int
+		Peers     int
+		Mechanism string
+		Epoch     int
+		State     v1State
+	}
+	snap := filepath.Join(t.TempDir(), "old.snap")
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v1Snapshot{Version: 1, Peers: 30, Mechanism: "eigentrust"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-peers", "30", "-epochs", "2", "-resume", snap}, &sb)
+	if err == nil {
+		t.Fatal("old-version snapshot accepted")
+	}
+	if !strings.Contains(err.Error(), "snapshot version mismatch (got 1, want 2)") {
+		t.Fatalf("resume error %q does not name the version mismatch", err)
+	}
+}
+
 func TestRunWithGateAndSelfish(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{"-peers", "25", "-epochs", "2", "-rounds", "3",
@@ -160,6 +193,67 @@ func TestScenarioFlagFromFile(t *testing.T) {
 	}
 	if fromFile.String() != sharded.String() {
 		t.Fatal("-shards changed a scenario run's output")
+	}
+}
+
+// TestScenarioCheckpointResume: -checkpoint/-resume compose with -scenario.
+// A 2-epoch spec checkpointed then resumed under a 3-epoch spec prints
+// exactly the last three table rows of one uninterrupted 5-epoch run — the
+// workflow the README documents for continuing a trustnetd snapshot offline.
+func TestScenarioCheckpointResume(t *testing.T) {
+	spec := func(epochs int) string {
+		sc := trustnet.MustScenario("baseline")
+		sc.Peers = 30
+		sc.EpochRounds = 4
+		sc.Epochs = epochs
+		data, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "spec.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	tableRows := func(out string) []string {
+		var rows []string
+		for _, line := range strings.Split(out, "\n") {
+			f := strings.Fields(line)
+			if len(f) > 1 {
+				if _, err := strconv.Atoi(f[0]); err == nil {
+					rows = append(rows, line)
+				}
+			}
+		}
+		return rows
+	}
+
+	var full strings.Builder
+	if err := run([]string{"-scenario", spec(5)}, &full); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "run.snap")
+	var first strings.Builder
+	if err := run([]string{"-scenario", spec(2), "-checkpoint", snap}, &first); err != nil {
+		t.Fatal(err)
+	}
+	var resumed strings.Builder
+	if err := run([]string{"-scenario", spec(3), "-resume", snap}, &resumed); err != nil {
+		t.Fatal(err)
+	}
+
+	fullRows, resumedRows := tableRows(full.String()), tableRows(resumed.String())
+	if len(fullRows) != 5 || len(resumedRows) != 3 {
+		t.Fatalf("row counts: full %d want 5, resumed %d want 3", len(fullRows), len(resumedRows))
+	}
+	for i, row := range resumedRows {
+		if row != fullRows[2+i] {
+			t.Fatalf("resumed row %d differs from uninterrupted run:\n%s\n%s", i, row, fullRows[2+i])
+		}
+	}
+	if !strings.HasPrefix(strings.TrimSpace(resumedRows[0]), "2") {
+		t.Fatalf("resumed run should continue at epoch 2, got row %q", resumedRows[0])
 	}
 }
 

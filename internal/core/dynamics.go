@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/metrics"
@@ -188,6 +189,15 @@ func (d *Dynamics) History() []EpochStats {
 // per-user state, so the fan-out preserves the pipeline's determinism
 // contract (identical results for every shard count).
 func (d *Dynamics) Epoch() (EpochStats, error) {
+	return d.EpochCtx(context.Background())
+}
+
+// EpochCtx is Epoch with cancellation checked between workload rounds, not
+// just at the epoch boundary: a served session's shutdown must not stall
+// behind a large in-flight epoch. An interrupted epoch returns the
+// context's error without recording history; the rounds already run stay
+// merged (the engine is a shorter, not corrupt, run).
+func (d *Dynamics) EpochCtx(ctx context.Context) (EpochStats, error) {
 	n := d.cfg.Workload.NumPeers
 	shards := d.eng.Shards()
 	// 1. Install this epoch's coupling variables.
@@ -199,7 +209,9 @@ func (d *Dynamics) Epoch() (EpochStats, error) {
 	// 2. Run the workload. The epoch's bad-service delta comes from the
 	// engine's cumulative counters, not a log rescan.
 	before := d.eng.CumulativeStats()
-	d.eng.Run(d.cfg.EpochRounds)
+	if err := d.eng.RunContext(ctx, d.cfg.EpochRounds); err != nil {
+		return EpochStats{}, err
+	}
 	after := d.eng.CumulativeStats()
 	bad := after.BadService - before.BadService
 	interactions := after.Interactions - before.Interactions

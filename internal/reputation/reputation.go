@@ -15,12 +15,14 @@ import (
 )
 
 // Report is one feedback report: rater's rating of ratee for transaction
-// TxID, in [0,1].
+// TxID, in [0,1]. The JSON encoding backs the serving API and the
+// report-wave intervention's schedule envelope; TxID is omitted there —
+// the engine assigns transaction ids when a report is applied.
 type Report struct {
-	TxID  uint64
-	Rater int
-	Ratee int
-	Value float64
+	TxID  uint64  `json:"-"`
+	Rater int     `json:"rater"`
+	Ratee int     `json:"ratee"`
+	Value float64 `json:"value"`
 }
 
 // Mechanism is a pluggable scoring engine ("scoring and ranking" block).

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions shapes a query-load run against a serving API.
+type LoadOptions struct {
+	// Concurrency is the number of querying workers (default 4).
+	Concurrency int
+	// Requests caps the total request count (0 = no cap; bound by Duration
+	// or the context instead).
+	Requests int
+	// Duration caps the wall-clock run (0 = no cap).
+	Duration time.Duration
+	// Users is the population size; queried user ids cycle through it.
+	Users int
+}
+
+// LoadResult is what a load run measured.
+type LoadResult struct {
+	Requests int64         `json:"requests"`
+	Errors   int64         `json:"errors"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	QPS      float64       `json:"qps"`
+	P50      time.Duration `json:"p50_ns"`
+	P99      time.Duration `json:"p99_ns"`
+}
+
+// RunLoad drives the read API at baseURL from Concurrency workers — a mix
+// of single-score, top-K, and latest-epoch queries — and reports throughput
+// and latency quantiles. It is the measurement core shared by the loadgen
+// CLI and the serving benchmark.
+func RunLoad(ctx context.Context, client *http.Client, baseURL string, opts LoadOptions) (LoadResult, error) {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 4
+	}
+	if opts.Users <= 0 {
+		return LoadResult{}, fmt.Errorf("serve: load needs a positive user population, got %d", opts.Users)
+	}
+	if opts.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Duration)
+		defer cancel()
+	}
+
+	var (
+		wg       sync.WaitGroup
+		budget   atomic.Int64
+		requests atomic.Int64
+		errs     atomic.Int64
+		firstErr atomic.Pointer[error]
+	)
+	if opts.Requests > 0 {
+		budget.Store(int64(opts.Requests))
+	} else {
+		budget.Store(int64(1) << 62)
+	}
+	latencies := make([][]time.Duration, opts.Concurrency)
+	start := time.Now()
+	for g := 0; g < opts.Concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; ctx.Err() == nil; i++ {
+				if budget.Add(-1) < 0 {
+					return
+				}
+				var path string
+				switch i % 8 {
+				case 0:
+					path = "/v1/top?k=10"
+				case 1:
+					path = "/v1/epochs/latest"
+				default:
+					path = fmt.Sprintf("/v1/scores/%d", i%opts.Users)
+				}
+				req, err := http.NewRequestWithContext(ctx, "GET", baseURL+path, nil)
+				if err != nil {
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // deadline hit mid-flight, not a failure
+					}
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, &err)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat := time.Since(t0)
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					err := fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+					firstErr.CompareAndSwap(nil, &err)
+					continue
+				}
+				latencies[g] = append(latencies[g], lat)
+				requests.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := LoadResult{
+		Requests: requests.Load(),
+		Errors:   errs.Load(),
+		Elapsed:  elapsed,
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.Requests) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		res.P50 = all[len(all)/2]
+		res.P99 = all[min(len(all)-1, len(all)*99/100)]
+	}
+	if ep := firstErr.Load(); ep != nil {
+		return res, *ep
+	}
+	return res, nil
+}

@@ -8,6 +8,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -531,6 +532,60 @@ func (e *Engine) Run(n int) {
 	for i := 0; i < n; i++ {
 		e.Round()
 	}
+}
+
+// RunContext executes up to n rounds, consulting ctx before each one so a
+// long epoch cannot stall cancellation (a served daemon's shutdown must not
+// wait out a large in-flight epoch). It returns the context's error when
+// interrupted; rounds already run stay merged, so the engine state is that
+// of a shorter run, not a corrupt one.
+func (e *Engine) RunContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.Round()
+	}
+	return nil
+}
+
+// SubmitExternalReport feeds one externally submitted feedback report —
+// e.g. an API client of a served engine — straight into the reputation
+// mechanism, bypassing the disclosure-limited gatherer: submitting through
+// the API is an explicit disclosure, not a behavioural draw, so no random
+// stream is consumed. The transaction id comes from the social network's
+// counter (snapshotted state), so a run that replays the same submissions
+// at the same epoch boundaries reproduces identical mechanism state.
+func (e *Engine) SubmitExternalReport(rater, ratee int, value float64) error {
+	if rater < 0 || rater >= e.cfg.NumPeers {
+		return fmt.Errorf("workload: report rater %d out of range [0,%d)", rater, e.cfg.NumPeers)
+	}
+	if ratee < 0 || ratee >= e.cfg.NumPeers {
+		return fmt.Errorf("workload: report ratee %d out of range [0,%d)", ratee, e.cfg.NumPeers)
+	}
+	if rater == ratee {
+		return fmt.Errorf("workload: self-rating report by %d rejected", rater)
+	}
+	if !(value >= 0 && value <= 1) { // also rejects NaN
+		return fmt.Errorf("workload: report value %v out of [0,1]", value)
+	}
+	tx := e.snet.NextTxID()
+	if err := e.mech.Submit(reputation.Report{TxID: tx, Rater: rater, Ratee: ratee, Value: value}); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	if e.ledger != nil {
+		// Same accounting as a gathered in-simulation report: sharing
+		// feedback discloses the rater's behavioural data to the mechanism.
+		e.ledger.Record(privacy.Disclosure{
+			Owner:       rater,
+			Item:        "feedback/" + strconv.Itoa(rater) + "/" + strconv.FormatUint(tx, 10),
+			Sensitivity: social.Low,
+			Recipient:   -1,
+			Purpose:     privacy.ReputationUse,
+			Consented:   true,
+		})
+	}
+	return nil
 }
 
 // Summary aggregates scenario-level metrics.

@@ -1,0 +1,193 @@
+// Command benchdiff compares a freshly produced benchjson document against
+// a committed baseline and fails (exit 1) on regressions, so CI gates perf
+// instead of merely recording it.
+//
+//	go test -run '^$' -bench BenchmarkShardedEpoch . | go run ./tools/benchjson > BENCH_epoch.json
+//	go run ./tools/benchdiff -baseline bench/baseline/BENCH_epoch.json -fresh BENCH_epoch.json
+//
+// Gating rules, per row recorded in the baseline:
+//
+//   - ns_per_op regresses when fresh > baseline × (1 + threshold); lower is
+//     better. Default threshold 20%.
+//   - speedup entries regress when fresh < baseline × (1 − threshold);
+//     higher is better.
+//   - the qps metric (the serving benchmark's throughput headline) gates
+//     like speedup.
+//   - every other custom metric — latency quantiles (p50-ns, p99-ns),
+//     snapshot-bytes, allocator columns — is advisory: printed, never fatal,
+//     because single-run quantiles on shared CI hardware swing far beyond
+//     any honest threshold. -gate-all-metrics promotes them.
+//
+// Rows present only in the fresh document are fine (new benchmarks don't
+// need a baseline yet); rows present only in the baseline warn, or fail
+// under -require-all. Update baselines deliberately by regenerating the
+// files under bench/baseline/.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+type row struct {
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type doc struct {
+	Benchmarks map[string]row     `json:"benchmarks"`
+	Speedup    map[string]float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		baselinePath = fs.String("baseline", "", "committed benchjson document (required)")
+		freshPath    = fs.String("fresh", "", "freshly produced benchjson document (required)")
+		threshold    = fs.Float64("threshold", 0.20, "fractional regression tolerance")
+		requireAll   = fs.Bool("require-all", false, "fail when a baseline row is missing from the fresh document")
+		gateAll      = fs.Bool("gate-all-metrics", false, "gate advisory metrics (latency quantiles etc.) too")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" || *freshPath == "" {
+		return fmt.Errorf("both -baseline and -fresh are required")
+	}
+	if *threshold <= 0 {
+		return fmt.Errorf("threshold must be positive, got %v", *threshold)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		return err
+	}
+
+	var regressions, warnings []string
+	note := func(fatal bool, format string, a ...any) {
+		msg := fmt.Sprintf(format, a...)
+		if fatal {
+			regressions = append(regressions, msg)
+		} else {
+			warnings = append(warnings, msg)
+		}
+	}
+
+	// lowerIsBetter gate: fails when fresh exceeds base by the threshold.
+	checkLower := func(fatal bool, label string, baseV, freshV float64) {
+		if baseV <= 0 {
+			return
+		}
+		ratio := freshV / baseV
+		if ratio > 1+*threshold {
+			note(fatal, "%s: %.4g -> %.4g (%.1f%% slower, tolerance %.0f%%)",
+				label, baseV, freshV, (ratio-1)*100, *threshold*100)
+		}
+	}
+	// higherIsBetter gate: fails when fresh falls below base by the threshold.
+	checkHigher := func(fatal bool, label string, baseV, freshV float64) {
+		if baseV <= 0 {
+			return
+		}
+		ratio := freshV / baseV
+		if ratio < 1-*threshold {
+			note(fatal, "%s: %.4g -> %.4g (%.1f%% worse, tolerance %.0f%%)",
+				label, baseV, freshV, (1-ratio)*100, *threshold*100)
+		}
+	}
+
+	for _, name := range sortedKeys(base.Benchmarks) {
+		b := base.Benchmarks[name]
+		f, ok := fresh.Benchmarks[name]
+		if !ok {
+			note(*requireAll, "row %q in baseline but missing from fresh run", name)
+			continue
+		}
+		checkLower(true, name+" ns/op", b.NsPerOp, f.NsPerOp)
+		for _, unit := range sortedKeys(b.Metrics) {
+			fv, ok := f.Metrics[unit]
+			if !ok {
+				note(false, "metric %s of %q missing from fresh run", unit, name)
+				continue
+			}
+			label := name + " " + unit
+			switch {
+			case unit == "qps":
+				checkHigher(true, label, b.Metrics[unit], fv)
+			case higherIsBetter(unit):
+				checkHigher(*gateAll, label, b.Metrics[unit], fv)
+			default:
+				checkLower(*gateAll, label, b.Metrics[unit], fv)
+			}
+		}
+	}
+	for _, key := range sortedKeys(base.Speedup) {
+		fv, ok := fresh.Speedup[key]
+		if !ok {
+			note(*requireAll, "speedup %q in baseline but missing from fresh run", key)
+			continue
+		}
+		checkHigher(true, "speedup "+key, base.Speedup[key], fv)
+	}
+
+	for _, msg := range warnings {
+		fmt.Fprintf(w, "benchdiff: warning: %s\n", msg)
+	}
+	if len(regressions) > 0 {
+		for _, msg := range regressions {
+			fmt.Fprintf(w, "benchdiff: REGRESSION: %s\n", msg)
+		}
+		return fmt.Errorf("%d regression(s) beyond the %.0f%% tolerance", len(regressions), *threshold*100)
+	}
+	fmt.Fprintf(w, "benchdiff: %d baseline row(s) within %.0f%% of %s\n",
+		len(base.Benchmarks)+len(base.Speedup), *threshold*100, *freshPath)
+	return nil
+}
+
+// higherIsBetter classifies advisory metric direction by unit name: rates
+// are good when they go up, everything else (latencies, sizes, counts) when
+// it goes down.
+func higherIsBetter(unit string) bool {
+	return strings.Contains(unit, "qps") || strings.Contains(unit, "/s") || strings.Contains(unit, "speedup")
+}
+
+func load(path string) (doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc{}, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return doc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(d.Benchmarks) == 0 && len(d.Speedup) == 0 {
+		return doc{}, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	return d, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

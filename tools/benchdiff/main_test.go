@@ -1,0 +1,167 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineDoc = `{
+  "benchmarks": {
+    "Epoch/users=1000/shards=4": {"iterations": 100, "ns_per_op": 1000000},
+    "Serving/users=200/shards=4": {"iterations": 5000, "ns_per_op": 90000,
+      "metrics": {"qps": 10000, "p50-ns": 200000, "p99-ns": 9000000}}
+  },
+  "speedup": {"users=1000/shards=4": 3.0}
+}`
+
+func diff(t *testing.T, fresh string, extra ...string) (string, error) {
+	t.Helper()
+	base := writeDoc(t, "base.json", baselineDoc)
+	fp := writeDoc(t, "fresh.json", fresh)
+	var sb strings.Builder
+	err := run(append([]string{"-baseline", base, "-fresh", fp}, extra...), &sb)
+	return sb.String(), err
+}
+
+func TestWithinToleranceOK(t *testing.T) {
+	out, err := diff(t, `{
+  "benchmarks": {
+    "Epoch/users=1000/shards=4": {"iterations": 100, "ns_per_op": 1100000},
+    "Serving/users=200/shards=4": {"iterations": 5000, "ns_per_op": 95000,
+      "metrics": {"qps": 9500, "p50-ns": 210000, "p99-ns": 9500000}},
+    "Brand/new=row": {"iterations": 1, "ns_per_op": 5}
+  },
+  "speedup": {"users=1000/shards=4": 2.9}
+}`)
+	if err != nil {
+		t.Fatalf("within-tolerance diff failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "within 20%") {
+		t.Fatalf("missing summary:\n%s", out)
+	}
+}
+
+func TestNsPerOpRegressionFails(t *testing.T) {
+	out, err := diff(t, `{
+  "benchmarks": {
+    "Epoch/users=1000/shards=4": {"iterations": 100, "ns_per_op": 1300000},
+    "Serving/users=200/shards=4": {"iterations": 5000, "ns_per_op": 90000,
+      "metrics": {"qps": 10000, "p50-ns": 200000, "p99-ns": 9000000}}
+  },
+  "speedup": {"users=1000/shards=4": 3.0}
+}`)
+	if err == nil {
+		t.Fatalf("30%% ns/op regression passed:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "Epoch/users=1000/shards=4 ns/op") {
+		t.Fatalf("regression not named:\n%s", out)
+	}
+}
+
+func TestQPSRegressionFails(t *testing.T) {
+	out, err := diff(t, `{
+  "benchmarks": {
+    "Epoch/users=1000/shards=4": {"iterations": 100, "ns_per_op": 1000000},
+    "Serving/users=200/shards=4": {"iterations": 5000, "ns_per_op": 90000,
+      "metrics": {"qps": 6000, "p50-ns": 200000, "p99-ns": 9000000}}
+  },
+  "speedup": {"users=1000/shards=4": 3.0}
+}`)
+	if err == nil {
+		t.Fatalf("40%% qps drop passed:\n%s", out)
+	}
+	if !strings.Contains(out, "qps") {
+		t.Fatalf("qps regression not named:\n%s", out)
+	}
+}
+
+func TestSpeedupRegressionFails(t *testing.T) {
+	out, err := diff(t, `{
+  "benchmarks": {
+    "Epoch/users=1000/shards=4": {"iterations": 100, "ns_per_op": 1000000},
+    "Serving/users=200/shards=4": {"iterations": 5000, "ns_per_op": 90000,
+      "metrics": {"qps": 10000, "p50-ns": 200000, "p99-ns": 9000000}}
+  },
+  "speedup": {"users=1000/shards=4": 1.5}
+}`)
+	if err == nil {
+		t.Fatalf("halved speedup passed:\n%s", out)
+	}
+}
+
+// TestQuantilesAdvisoryByDefault: a wild p99 swing alone must not fail the
+// gate (single-run quantiles on shared hardware are noise), but
+// -gate-all-metrics promotes it.
+func TestQuantilesAdvisoryByDefault(t *testing.T) {
+	fresh := `{
+  "benchmarks": {
+    "Epoch/users=1000/shards=4": {"iterations": 100, "ns_per_op": 1000000},
+    "Serving/users=200/shards=4": {"iterations": 5000, "ns_per_op": 90000,
+      "metrics": {"qps": 10000, "p50-ns": 200000, "p99-ns": 30000000}}
+  },
+  "speedup": {"users=1000/shards=4": 3.0}
+}`
+	if out, err := diff(t, fresh); err != nil {
+		t.Fatalf("p99 noise failed the default gate: %v\n%s", err, out)
+	}
+	if out, err := diff(t, fresh, "-gate-all-metrics"); err == nil {
+		t.Fatalf("p99 3x regression passed under -gate-all-metrics:\n%s", out)
+	}
+}
+
+func TestMissingRowWarnsOrFails(t *testing.T) {
+	fresh := `{
+  "benchmarks": {
+    "Serving/users=200/shards=4": {"iterations": 5000, "ns_per_op": 90000,
+      "metrics": {"qps": 10000, "p50-ns": 200000, "p99-ns": 9000000}}
+  },
+  "speedup": {"users=1000/shards=4": 3.0}
+}`
+	out, err := diff(t, fresh)
+	if err != nil {
+		t.Fatalf("missing row failed the default gate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "warning") {
+		t.Fatalf("missing row not warned about:\n%s", out)
+	}
+	if out, err := diff(t, fresh, "-require-all"); err == nil {
+		t.Fatalf("missing row passed under -require-all:\n%s", out)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	base := writeDoc(t, "base.json", baselineDoc)
+	empty := writeDoc(t, "empty.json", `{"benchmarks": {}}`)
+	garbage := writeDoc(t, "garbage.json", `not json`)
+	cases := [][]string{
+		{},
+		{"-baseline", base},
+		{"-baseline", base, "-fresh", filepath.Join(t.TempDir(), "missing.json")},
+		{"-baseline", base, "-fresh", empty},
+		{"-baseline", base, "-fresh", garbage},
+		{"-baseline", base, "-fresh", base, "-threshold", "-1"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+	// Identity diff always passes.
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, "-fresh", base}, &sb); err != nil {
+		t.Fatalf("identity diff failed: %v", err)
+	}
+}

@@ -1,9 +1,13 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // document on stdout. CI uses it to turn the sharded-epoch benchmark into
-// BENCH_epoch.json, the sweep benchmark into BENCH_sweep.json, and the
+// BENCH_epoch.json, the sweep benchmark into BENCH_sweep.json, the
 // mechanism-kernel benchmark (users × density × kernel × workers axes) into
-// BENCH_mechanisms.json — the artifacts that track the perf trajectory
-// across PRs.
+// BENCH_mechanisms.json, and the serving benchmark into BENCH_serving.json —
+// the artifacts that track the perf trajectory across PRs.
+//
+// Custom benchmark metrics (b.ReportMetric: qps, p50-ns, p99-ns,
+// snapshot-bytes, ...) land in each row's "metrics" map; tools/benchdiff
+// gates regressions against a committed baseline.
 //
 //	go test -run '^$' -bench BenchmarkShardedEpoch . | go run ./tools/benchjson
 package main
@@ -12,6 +16,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -32,6 +37,9 @@ var workerCase = regexp.MustCompile(`^(.+?)/workers=(\d+)$`)
 type result struct {
 	Iterations int     `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds the row's custom units (b.ReportMetric) and, under
+	// -benchmem, the allocator columns — everything after ns/op.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type output struct {
@@ -49,11 +57,40 @@ type output struct {
 	Speedup map[string]float64 `json:"speedup,omitempty"`
 }
 
+// customMetrics parses the (value, unit) pairs after the iteration count of
+// one benchmark line, skipping ns/op (kept as the row's primary column).
+func customMetrics(line string) map[string]float64 {
+	fields := strings.Fields(line)
+	var metrics map[string]float64
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			continue
+		}
+		if metrics == nil {
+			metrics = map[string]float64{}
+		}
+		metrics[unit] = v
+	}
+	return metrics
+}
+
 func main() {
+	if err := process(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func process(r io.Reader, w io.Writer) error {
 	out := output{Benchmarks: map[string]result{}}
 	nsByCase := map[string]map[int]float64{} // case key -> parallelism -> ns/op
 	axisByCase := map[string]string{}        // case key -> "shards" | "workers"
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -68,7 +105,7 @@ func main() {
 		if err != nil {
 			continue
 		}
-		out.Benchmarks[m[1]] = result{Iterations: iters, NsPerOp: ns}
+		out.Benchmarks[m[1]] = result{Iterations: iters, NsPerOp: ns, Metrics: customMetrics(sc.Text())}
 		if c := shardCase.FindStringSubmatch(m[1]); c != nil {
 			shards, _ := strconv.Atoi(c[2])
 			key := "users=" + c[1]
@@ -88,8 +125,7 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	for key, byShards := range nsByCase {
 		base, ok := byShards[1]
@@ -121,10 +157,7 @@ func main() {
 		}
 		out.Speedup[strings.Replace(name, "kernel=sparse", "kernel=sparse-vs-dense", 1)] = dense.NsPerOp / sparse.NsPerOp
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return enc.Encode(out)
 }

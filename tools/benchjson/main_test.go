@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// benchOutput is a condensed real `go test -bench` transcript covering the
+// three row shapes benchjson understands: the shards axis (epoch bench),
+// the workers axis (sweep bench), and custom metrics (serving bench).
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkShardedEpoch/users=1000/shards=1-8         	      10	 100000000 ns/op
+BenchmarkShardedEpoch/users=1000/shards=4-8         	      40	  25000000 ns/op
+BenchmarkServing/users=200/shards=1-8               	    6862	     99410 ns/op	    198732 p50-ns	  13690565 p99-ns	     10071 qps
+BenchmarkSweep/grid=5x5/workers=1-8                 	       5	 200000000 ns/op
+BenchmarkSweep/grid=5x5/workers=4-8                 	      20	  50000000 ns/op
+PASS
+ok  	repro	2.482s
+`
+
+func TestProcess(t *testing.T) {
+	var sb strings.Builder
+	if err := process(strings.NewReader(benchOutput), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Benchmarks map[string]struct {
+			Iterations int                `json:"iterations"`
+			NsPerOp    float64            `json:"ns_per_op"`
+			Metrics    map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+		Speedup map[string]float64 `json:"speedup"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 5 {
+		t.Fatalf("parsed %d rows, want 5", len(out.Benchmarks))
+	}
+
+	epoch := out.Benchmarks["ShardedEpoch/users=1000/shards=4"]
+	if epoch.Iterations != 40 || epoch.NsPerOp != 25000000 {
+		t.Fatalf("epoch row = %+v", epoch)
+	}
+	if got := out.Speedup["users=1000/shards=4"]; got != 4 {
+		t.Fatalf("shard speedup = %v, want 4", got)
+	}
+	if got := out.Speedup["Sweep/grid=5x5/workers=4"]; got != 4 {
+		t.Fatalf("worker speedup = %v, want 4", got)
+	}
+
+	serving := out.Benchmarks["Serving/users=200/shards=1"]
+	want := map[string]float64{"p50-ns": 198732, "p99-ns": 13690565, "qps": 10071}
+	for unit, v := range want {
+		if serving.Metrics[unit] != v {
+			t.Fatalf("metric %s = %v, want %v (row %+v)", unit, serving.Metrics[unit], v, serving)
+		}
+	}
+	if _, ok := serving.Metrics["ns/op"]; ok {
+		t.Fatal("ns/op duplicated into the metrics map")
+	}
+
+	// Rows without custom metrics must omit the map entirely.
+	if epoch.Metrics != nil {
+		t.Fatalf("plain row grew metrics: %+v", epoch.Metrics)
+	}
+}
+
+func TestProcessEmptyInput(t *testing.T) {
+	var sb strings.Builder
+	if err := process(strings.NewReader("no benchmarks here\n"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"benchmarks": {}`) {
+		t.Fatalf("empty input should produce an empty document:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,131 @@
+// Command loadgen measures a trustnetd serving API under query load:
+// queries/sec and p50/p99 latency from N concurrent workers, while epochs
+// stream underneath.
+//
+// Point it at a running daemon:
+//
+//	loadgen -url http://127.0.0.1:8321 -duration 10s -concurrency 8
+//
+// or let it self-host a scenario for a hermetic measurement (no daemon, no
+// network stack beyond localhost):
+//
+//	loadgen -scenario baseline -duration 5s
+//
+// With -json the result prints as one JSON object. The committed serving
+// numbers (BENCH_serving.json) come from the BenchmarkServing harness, which
+// shares this tool's measurement core.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+	"repro/trustnet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		url         = fs.String("url", "", "base URL of a running trustnetd (empty = self-host -scenario)")
+		scenarioRef = fs.String("scenario", "baseline", "scenario to self-host when -url is empty")
+		interval    = fs.Duration("epoch-interval", 0, "epoch pacing for the self-hosted server (0 = continuous)")
+		duration    = fs.Duration("duration", 10*time.Second, "how long to generate load")
+		concurrency = fs.Int("concurrency", 8, "concurrent query workers")
+		requests    = fs.Int("requests", 0, "total request cap (0 = bounded by -duration)")
+		asJSON      = fs.Bool("json", false, "print the result as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := *url
+	if base == "" {
+		sc, err := trustnet.LoadScenario(*scenarioRef)
+		if err != nil {
+			return err
+		}
+		eng, err := sc.NewEngine()
+		if err != nil {
+			return err
+		}
+		srv, err := serve.New(serve.Config{Engine: eng, Schedule: sc.Schedule, EpochInterval: *interval})
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		if err := srv.Start(ctx); err != nil {
+			return err
+		}
+		base = ts.URL
+		fmt.Fprintf(w, "loadgen: self-hosting scenario %q (%d peers, %s) at %s\n",
+			sc.Name, eng.Peers(), eng.Mechanism().Name(), base)
+	}
+
+	users, err := population(ctx, client, base)
+	if err != nil {
+		return err
+	}
+	res, err := serve.RunLoad(ctx, client, base, serve.LoadOptions{
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Duration:    *duration,
+		Users:       users,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Fprintf(w, "loadgen: %d requests in %v (%d workers, %d errors)\n",
+		res.Requests, res.Elapsed.Round(time.Millisecond), *concurrency, res.Errors)
+	fmt.Fprintf(w, "loadgen: %.0f queries/sec, p50 %v, p99 %v\n",
+		res.QPS, res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+	return nil
+}
+
+// population asks the target for its peer count so score queries stay in
+// range.
+func population(ctx context.Context, client *http.Client, base string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/stats", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("stats probe: %w", err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Peers int `json:"peers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return 0, fmt.Errorf("stats probe: %w", err)
+	}
+	if stats.Peers <= 0 {
+		return 0, fmt.Errorf("stats probe: target reports %d peers", stats.Peers)
+	}
+	return stats.Peers, nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSelfHostedLoad runs the generator against a self-hosted scenario with
+// a small request cap: the pipeline from flags to measured quantiles works
+// end to end without a daemon.
+func TestSelfHostedLoad(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-scenario", "quickstart", "-requests", "200", "-duration", "30s", "-concurrency", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "queries/sec") || !strings.Contains(out, "p99") {
+		t.Fatalf("missing measurement lines:\n%s", out)
+	}
+	if !strings.Contains(out, "200 requests") {
+		t.Fatalf("request cap not honored:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-scenario", "quickstart", "-requests", "50", "-duration", "30s", "-json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The self-host banner precedes the JSON object.
+	out := sb.String()
+	idx := strings.Index(out, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON object in output:\n%s", out)
+	}
+	var res struct {
+		Requests int     `json:"requests"`
+		QPS      float64 `json:"qps"`
+		P99      int64   `json:"p99_ns"`
+	}
+	if err := json.Unmarshal([]byte(out[idx:]), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 50 || res.QPS <= 0 || res.P99 <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus"},
+		{"-scenario", "no-such-scenario", "-requests", "1"},
+		{"-url", "http://127.0.0.1:1", "-requests", "1", "-duration", "2s"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -140,6 +140,35 @@ func (e *Engine) Run(ctx context.Context, epochs int) ([]EpochStats, error) {
 	return e.History(), nil
 }
 
+// EpochIndex returns the index the next epoch will run as (equivalently,
+// the number of completed coupling epochs).
+func (e *Engine) EpochIndex() int { return e.dyn.EpochIndex() }
+
+// SubmitReports feeds externally submitted feedback reports into the
+// reputation mechanism, in order. Unlike in-simulation feedback, external
+// reports bypass the disclosure-limited gatherer (submitting through the
+// API is an explicit disclosure, so no random stream is consumed) and are
+// assigned transaction ids from the engine's snapshotted counter. Reports
+// are validated up front; nothing is applied unless all pass, so a bad
+// batch never half-applies.
+//
+// Determinism contract: a run that applies the same reports in the same
+// order at the same epoch boundaries — whether through a served daemon's
+// queue or a scheduled ReportWave — produces bit-identical state.
+func (e *Engine) SubmitReports(reports ...Report) error {
+	for i, r := range reports {
+		if err := checkReport(e, r); err != nil {
+			return fmt.Errorf("trustnet: report %d: %w", i, err)
+		}
+	}
+	for _, r := range reports {
+		if err := e.workloadEngine().SubmitExternalReport(r.Rater, r.Ratee, r.Value); err != nil {
+			return fmt.Errorf("trustnet: %w", err)
+		}
+	}
+	return nil
+}
+
 // History returns a copy of the recorded coupling epochs; mutating it never
 // corrupts the engine's record.
 func (e *Engine) History() []EpochStats { return e.dyn.History() }

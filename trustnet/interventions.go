@@ -210,6 +210,50 @@ func (c BehaviorChange) applyTo(e *Engine) error {
 	return nil
 }
 
+// checkReport validates one feedback report against the engine; it mirrors
+// the workload engine's own submission checks so a malformed schedule (or a
+// served API request) fails fast instead of at epoch boundary N.
+func checkReport(e *Engine, r Report) error {
+	if r.Rater < 0 || r.Rater >= e.Peers() {
+		return fmt.Errorf("rater %d out of range [0,%d)", r.Rater, e.Peers())
+	}
+	if r.Ratee < 0 || r.Ratee >= e.Peers() {
+		return fmt.Errorf("ratee %d out of range [0,%d)", r.Ratee, e.Peers())
+	}
+	if r.Rater == r.Ratee {
+		return fmt.Errorf("self-rating report by %d rejected", r.Rater)
+	}
+	if !(r.Value >= 0 && r.Value <= 1) { // also rejects NaN
+		return fmt.Errorf("report value %v out of [0,1]", r.Value)
+	}
+	return nil
+}
+
+// ReportWave submits a batch of externally authored feedback reports at an
+// epoch boundary, in declaration order. It is the batch-mode twin of the
+// served daemon's report queue: trustnetd applies queued reports at the
+// next boundary (before that epoch's scheduled interventions), so a
+// schedule that lists each epoch's ReportWave ahead of its other entries
+// replays a served run bit-for-bit.
+type ReportWave struct {
+	Reports []Report `json:"reports"`
+}
+
+func (w ReportWave) check(e *Engine) error {
+	if len(w.Reports) == 0 {
+		return fmt.Errorf("trustnet: report wave with no reports")
+	}
+	for i, r := range w.Reports {
+		if err := checkReport(e, r); err != nil {
+			return fmt.Errorf("trustnet: report wave entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+func (w ReportWave) applyTo(e *Engine) error {
+	return e.SubmitReports(w.Reports...)
+}
+
 // ScheduledIntervention binds an intervention to the epoch boundary at which
 // it fires (just before epoch Epoch runs; epoch indices are 0-based and
 // global to the engine, so a resumed session skips boundaries that already
@@ -285,6 +329,7 @@ const (
 	kindHonestyChange    = "honesty-change"
 	kindCouplingChange   = "coupling-change"
 	kindBehaviorChange   = "behavior-change"
+	kindReportWave       = "report-wave"
 )
 
 // interventionKind maps a concrete intervention to its JSON tag.
@@ -308,6 +353,8 @@ func interventionKind(a Intervention) (string, error) {
 		return kindCouplingChange, nil
 	case BehaviorChange:
 		return kindBehaviorChange, nil
+	case ReportWave:
+		return kindReportWave, nil
 	default:
 		return "", fmt.Errorf("trustnet: intervention %T has no JSON encoding", a)
 	}
@@ -414,6 +461,12 @@ func (si *ScheduledIntervention) UnmarshalJSON(data []byte) error {
 			return err
 		}
 		action = a
+	case kindReportWave:
+		var a ReportWave
+		if err := strictUnmarshal(args, &a); err != nil {
+			return err
+		}
+		action = a
 	default:
 		return fmt.Errorf("trustnet: unknown intervention kind %q", env.Kind)
 	}
@@ -438,6 +491,9 @@ func cloneIntervention(a Intervention) Intervention {
 		return v
 	case BehaviorChange:
 		v.Users = append([]int(nil), v.Users...)
+		return v
+	case ReportWave:
+		v.Reports = append([]Report(nil), v.Reports...)
 		return v
 	default:
 		// The remaining vocabulary carries only scalar payloads.

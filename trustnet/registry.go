@@ -156,6 +156,22 @@ func init() {
 				At(9, JoinWave{Users: cohort(10, 30)}),      // the bystanders come back
 		},
 		{
+			Name:        "baseline",
+			Description: "serving baseline: a steady mixed population sized for long-lived trustnetd runs",
+			Peers:       100,
+			Seed:        1,
+			Mix:         MixOf(map[string]float64{"malicious": 0.2, "selfish": 0.05}, 0, 1, 2),
+			Mechanism:   MechanismSpec{Kind: "eigentrust", Pretrusted: []int{0, 1, 2}},
+			Privacy:     &PrivacyPolicy{Disclosure: 0.8, TrustGate: 0.1},
+			Coupled:     true,
+			EpochRounds: 6,
+			// Batch runs (trustsim -scenario baseline) get a finite budget;
+			// trustnetd ignores it and owns the budget via -max-epochs.
+			Epochs: 10,
+
+			RecomputeEvery: 2,
+		},
+		{
 			Name:        "tradeoff",
 			Description: "the Fig. 2 base scenario: sweep its disclosure/trust-gate axes to map the frontier",
 			Peers:       100,

@@ -153,7 +153,10 @@ func (s *Session) Next() (EpochStats, error) {
 		})
 		defer we.SetRoundObserver(nil)
 	}
-	st, err := s.eng.dyn.Epoch()
+	// The context threads through to the round loop, so cancellation lands
+	// between rounds — a daemon's shutdown never stalls behind a large
+	// in-flight epoch.
+	st, err := s.eng.dyn.EpochCtx(s.ctx)
 	if err != nil {
 		s.err = err
 		return EpochStats{}, err

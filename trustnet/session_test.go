@@ -190,6 +190,37 @@ func TestSessionContextCancel(t *testing.T) {
 	}
 }
 
+// TestSessionCancelMidEpoch pins the between-rounds cancellation check: a
+// context cancelled while an epoch is in flight stops the session within a
+// round, instead of stalling shutdown behind the rest of a large epoch.
+func TestSessionCancelMidEpoch(t *testing.T) {
+	eng, err := New(sessionScenario(23, WithEpochRounds(1000))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rounds := 0
+	s, err := eng.Session(ctx, WithMaxEpochs(1), OnRound(func(RoundStats) {
+		rounds++
+		if rounds == 2 {
+			cancel()
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next with mid-epoch cancel = %v, want context.Canceled", err)
+	}
+	if rounds >= 1000 {
+		t.Fatalf("epoch ran to completion (%d rounds) despite cancellation", rounds)
+	}
+	// The error sticks, like every other session failure.
+	if _, err := s.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next after mid-epoch cancel = %v, want context.Canceled", err)
+	}
+}
+
 func TestLeaveJoinWaveChangesLoad(t *testing.T) {
 	eng, err := New(sessionScenario(19)...)
 	if err != nil {

@@ -1,6 +1,7 @@
 package trustnet
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -65,7 +66,7 @@ func (e *Engine) Restore(s *Snapshot) error {
 		return fmt.Errorf("trustnet: restore: nil snapshot")
 	}
 	if s.Version != snapshotVersion {
-		return fmt.Errorf("trustnet: restore: snapshot version %d, want %d", s.Version, snapshotVersion)
+		return fmt.Errorf("trustnet: restore: snapshot version mismatch (got %d, want %d)", s.Version, snapshotVersion)
 	}
 	if s.Peers != e.Peers() {
 		return fmt.Errorf("trustnet: restore: snapshot of %d peers into engine of %d", s.Peers, e.Peers())
@@ -87,14 +88,33 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	return nil
 }
 
-// DecodeSnapshot reads a snapshot previously written by Encode.
+// snapshotHeader is the version-probe target of DecodeSnapshot: gob matches
+// fields by name and structurally skips the rest of the stream, so the
+// Version of any generation's snapshot decodes into it even when the full
+// State no longer would.
+type snapshotHeader struct {
+	Version int
+}
+
+// DecodeSnapshot reads a snapshot previously written by Encode. The version
+// is checked before the state is decoded, so feeding a snapshot from an
+// older (or newer) format generation reports a clear version mismatch
+// instead of surfacing a raw gob decode failure from deep inside the state.
 func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
-	var s Snapshot
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("trustnet: decode snapshot: %w", err)
 	}
-	if s.Version != snapshotVersion {
-		return nil, fmt.Errorf("trustnet: decode snapshot: version %d, want %d", s.Version, snapshotVersion)
+	var hdr snapshotHeader
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("trustnet: decode snapshot: %w", err)
+	}
+	if hdr.Version != snapshotVersion {
+		return nil, fmt.Errorf("trustnet: decode snapshot: snapshot version mismatch (got %d, want %d)", hdr.Version, snapshotVersion)
+	}
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("trustnet: decode snapshot: %w", err)
 	}
 	return &s, nil
 }

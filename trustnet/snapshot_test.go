@@ -3,6 +3,7 @@ package trustnet
 import (
 	"bytes"
 	"context"
+	"encoding/gob"
 	"strings"
 	"testing"
 )
@@ -212,5 +213,39 @@ func TestSnapshotMismatchRejected(t *testing.T) {
 	bad.Version = 99
 	if err := eng.Restore(&bad); err == nil {
 		t.Fatal("wrong-version snapshot accepted")
+	}
+}
+
+// TestDecodeSnapshotOldVersionClearError pins the decode-time version probe:
+// a snapshot from an older format generation — whose State would not even
+// gob-decode into the current shape — must report a clear version mismatch,
+// not a raw gob failure from deep inside the state.
+func TestDecodeSnapshotOldVersionClearError(t *testing.T) {
+	// A v1-era blob stand-in: same header fields, but a State whose wire
+	// type is incompatible with core.DynamicsState, so a single-pass decode
+	// would fail inside the state before any version check.
+	type v1State struct {
+		Engine string // current Engine is a struct: gob "type mismatch"
+	}
+	type v1Snapshot struct {
+		Version   int
+		Peers     int
+		Mechanism string
+		Epoch     int
+		State     v1State
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v1Snapshot{
+		Version: 1, Peers: 60, Mechanism: "eigentrust", Epoch: 3,
+		State: v1State{Engine: "dense matrices lived here"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := DecodeSnapshot(&buf)
+	if err == nil {
+		t.Fatal("old-version snapshot decoded without error")
+	}
+	if !strings.Contains(err.Error(), "snapshot version mismatch (got 1, want 2)") {
+		t.Fatalf("decode error %q does not name the version mismatch", err)
 	}
 }
