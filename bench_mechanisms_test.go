@@ -37,6 +37,20 @@ func BenchmarkMechanismCompute(b *testing.B) {
 		// Density scales down with n² so the edge count stays bounded.
 		{users: 50000, densities: []float64{0.0002, 0.001}},
 	}
+	// Warm-vs-cold rows: the same incremental (one dirty row) recompute with
+	// the power iteration restarted from the previous fixed point vs from
+	// pretrust. The gated ns/op and the advisory iters/op metric should both
+	// show warm starts paying only for how far the matrix actually moved.
+	warmColdReports := mechBenchReports(10000, 0.001)
+	for _, mech := range []string{"eigentrust", "powertrust"} {
+		for _, start := range []string{"warm", "cold"} {
+			name := fmt.Sprintf("mech=%s/users=10000/density=0.001/kernel=sparse/workers=4/start=%s",
+				mech, start)
+			b.Run(name, func(b *testing.B) {
+				benchWarmCold(b, mech, 10000, 4, start == "cold", warmColdReports)
+			})
+		}
+	}
 	for _, sc := range scales {
 		if sc.users >= 50000 && !heavy {
 			continue
@@ -112,6 +126,41 @@ func benchSparse(b *testing.B, mech string, n, workers int, reports []reputation
 		}
 		m.Compute()
 	}
+}
+
+// benchWarmCold measures the steady-state incremental recompute with the
+// iteration's starting vector pinned warm (previous fixed point) or cold
+// (pretrust / uniform), reporting the mean solver iterations per recompute
+// as an advisory metric alongside the gated ns/op.
+func benchWarmCold(b *testing.B, mech string, n, workers int, cold bool, reports []reputation.Report) {
+	var m reputation.Mechanism
+	var err error
+	switch mech {
+	case "eigentrust":
+		m, err = eigentrust.New(eigentrust.Config{N: n, ColdStart: cold})
+	case "powertrust":
+		m, err = powertrust.New(powertrust.Config{N: n, ColdStart: cold})
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.(reputation.ComputeSharder).SetComputeShards(workers)
+	for _, r := range reports {
+		if err := m.Submit(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m.Compute() // reach the fixed point; the loop measures small-delta recomputes
+	var iters int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Submit(reputation.Report{Rater: n - 1, Ratee: n - 2, Value: 0.9}); err != nil {
+			b.Fatal(err)
+		}
+		iters += m.Compute()
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
 }
 
 func benchDense(b *testing.B, mech string, n int, reports []reputation.Report) {

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/core"
@@ -10,11 +11,23 @@ import (
 )
 
 // BenchmarkShardedEpoch measures one coupled epoch — the scatter-gather
-// interaction pipeline plus the facet-measurement barrier — at two
-// population scales, sequential vs sharded. CI converts its output into
-// BENCH_epoch.json so the 1-shard/N-shard perf trajectory is tracked across
-// PRs; on a multi-core runner the N-shard rows should approach a linear
-// speedup of the scatter phase.
+// interaction pipeline plus the facet-measurement barrier — sequential vs
+// sharded. CI converts its output into BENCH_epoch.json so the
+// 1-shard/N-shard perf trajectory is tracked across PRs; on a multi-core
+// runner the N-shard rows should approach a linear speedup of the scatter
+// phase.
+//
+// Two row families:
+//
+//   - users=N/shards=K: population-proportional interaction volume (one
+//     request per user per round), the historical rows.
+//   - users=N/interactions=V/shards=K: fixed interaction volume across
+//     populations — the scaling-layer acceptance rows. Epoch cost must track
+//     the interaction volume, not the population, so doubling users at fixed
+//     V should move ns/op well under 2x (the active-set/dirty-set contract).
+//     These run only with BENCH_EPOCH_HEAVY=1 (the dedicated bench job sets
+//     it) so the CI benchmark smoke stays fast; the 1M-user row rides along
+//     at the sharded count only.
 //
 // The mechanism is the no-op baseline so the benchmark isolates the epoch
 // pipeline itself (candidate sampling, selection, satisfaction folds,
@@ -24,31 +37,51 @@ func BenchmarkShardedEpoch(b *testing.B) {
 	for _, users := range []int{1000, 10000} {
 		for _, shards := range []int{1, 4} {
 			b.Run(fmt.Sprintf("users=%d/shards=%d", users, shards), func(b *testing.B) {
-				dyn, err := core.NewDynamics(core.DynamicsConfig{
-					Workload: workload.Config{
-						Seed:     1,
-						NumPeers: users,
-						Mix:      benchMix(0.3),
-						// One interaction per user per round keeps the
-						// scatter width proportional to the population.
-						Disclosure:     0.8,
-						RecomputeEvery: 2,
-						Shards:         shards,
-					},
-					Coupled:     true,
-					EpochRounds: 5,
-				}, reputation.NewNone(users))
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if _, err := dyn.Epoch(); err != nil {
-						b.Fatal(err)
-					}
-				}
+				benchEpoch(b, users, 0, shards)
 			})
+		}
+	}
+	if os.Getenv("BENCH_EPOCH_HEAVY") == "" {
+		return
+	}
+	const volume = 20000
+	for _, users := range []int{100000, 200000} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("users=%d/interactions=%d/shards=%d", users, volume, shards), func(b *testing.B) {
+				benchEpoch(b, users, volume, shards)
+			})
+		}
+	}
+	b.Run(fmt.Sprintf("users=%d/interactions=%d/shards=%d", 1000000, volume, 4), func(b *testing.B) {
+		benchEpoch(b, 1000000, volume, 4)
+	})
+}
+
+// benchEpoch times coupled epochs at the given scale; interactions == 0
+// means the population-proportional default (one request per user per
+// round).
+func benchEpoch(b *testing.B, users, interactions, shards int) {
+	dyn, err := core.NewDynamics(core.DynamicsConfig{
+		Workload: workload.Config{
+			Seed:                 1,
+			NumPeers:             users,
+			Mix:                  benchMix(0.3),
+			InteractionsPerRound: interactions,
+			Disclosure:           0.8,
+			RecomputeEvery:       2,
+			Shards:               shards,
+		},
+		Coupled:     true,
+		EpochRounds: 5,
+	}, reputation.NewNone(users))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dyn.Epoch(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +58,7 @@ func run(ctx context.Context, args []string, w io.Writer, ready func(baseURL str
 		shards      = fs.Int("shards", 0, "scatter-gather shards (0 = scenario default; never changes results)")
 		manual      = fs.Bool("manual", false, "no background loop; epochs advance only via POST /v1/advance")
 		resume      = fs.String("resume", "", "restore the engine from a snapshot file before serving")
+		pprofOn     = fs.Bool("pprof", false, "mount Go pprof handlers at /debug/pprof/ (profiling a live daemon)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,7 +105,11 @@ func run(ctx context.Context, args []string, w io.Writer, ready func(baseURL str
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
+	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -144,6 +150,20 @@ func run(ctx context.Context, args []string, w io.Writer, ready func(baseURL str
 			srvDone = nil
 		}
 	}
+}
+
+// withPprof mounts the Go runtime profiling endpoints in front of the API
+// handler. Opt-in only (-pprof): the endpoints expose process internals, so
+// they are off by default and should stay off on any non-loopback address.
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", api)
+	return mux
 }
 
 // shutdown drains the HTTP server: graceful with a deadline, then forced,

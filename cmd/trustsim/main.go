@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/trustnet"
 )
@@ -58,10 +59,17 @@ func run(args []string, w io.Writer) error {
 		shards     = fs.Int("shards", runtime.GOMAXPROCS(0), "parallel epoch shards (identical results for any count)")
 		checkpoint = fs.String("checkpoint", "", "write an engine snapshot to this file after the run")
 		resume     = fs.String("resume", "", "restore the engine from this snapshot before running (scenario flags must match the checkpointed run)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file after the run (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	if *scenarioRef != "" {
 		return runScenario(*scenarioRef, *shards, *checkpoint, *resume, w)
 	}
@@ -149,6 +157,46 @@ func run(args []string, w io.Writer) error {
 	sum := eng.Summary()
 	fmt.Fprintf(w, "reputation rank accuracy (tau): %.4f; feedback share rate: %.4f\n", sum.Tau, sum.ShareRate)
 	return nil
+}
+
+// startProfiles begins CPU profiling and/or arranges a heap profile write,
+// per the -cpuprofile/-memprofile flags. The returned stop function is safe
+// to call unconditionally; profile-file errors after the run are reported to
+// stderr because the run itself already succeeded.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trustsim: cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trustsim: memprofile:", err)
+				return
+			}
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "trustsim: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trustsim: memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // runScenario resolves a declarative scenario (registered name or JSON

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/metrics"
+	"repro/internal/sim"
 )
 
 // Facets holds one user's three facet values, each in [0,1].
@@ -237,6 +238,57 @@ func (m *TrustModel) Update(user int, f Facets) (float64, error) {
 		m.trust[user] = m.inertia*m.trust[user] + (1-m.inertia)*instant
 	}
 	return m.trust[user], nil
+}
+
+// UpdateAll folds every user's facets into her trust in one sharded pass:
+// per[u] is user u's facets and must cover all users. Within each chunk the
+// last Combine result is memoized, so runs of users with bit-identical
+// facets (the common case: the reputation facet is global per epoch, and
+// untouched users share default satisfaction and privacy) pay one geometric
+// mean instead of one each. The memo only ever skips recomputing a pure
+// function on equal inputs — and is bypassed for users carrying individual
+// weight profiles — so the resulting trust vector is bit-for-bit identical
+// to per-user Update calls, at any shard count.
+func (m *TrustModel) UpdateAll(per []Facets, shards int) error {
+	n := len(m.trust)
+	if len(per) != n {
+		return fmt.Errorf("core: UpdateAll got %d facet rows for %d users", len(per), n)
+	}
+	errs := make([]error, n)
+	sim.ForChunks(shards, n, func(lo, hi int) {
+		var lastF Facets
+		var lastInstant float64
+		lastOK := false
+		for u := lo; u < hi; u++ {
+			var instant float64
+			if _, individual := m.userWeights[u]; !individual && lastOK && per[u] == lastF {
+				instant = lastInstant
+			} else {
+				var err error
+				instant, err = Combine(per[u], m.weightsFor(u))
+				if err != nil {
+					errs[u] = err
+					lastOK = false
+					continue
+				}
+				if !individual {
+					lastF, lastInstant, lastOK = per[u], instant, true
+				}
+			}
+			if !m.started[u] {
+				m.trust[u] = instant
+				m.started[u] = true
+			} else {
+				m.trust[u] = m.inertia*m.trust[u] + (1-m.inertia)*instant
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Trust returns a user's current trust (0.5 before any update).

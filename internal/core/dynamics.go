@@ -80,6 +80,12 @@ type EpochStats struct {
 	// Community is the mechanism's conclusion: the fraction of rated peers
 	// it considers trustworthy.
 	Community float64 `json:"community"`
+	// MechIterations is how many solver iterations the mechanism spent this
+	// epoch (periodic recomputes plus the measurement barrier); MechResidual
+	// is the final L1 residual of its most recent iterative Compute. Both
+	// are 0 for non-iterative mechanisms.
+	MechIterations int     `json:"mech_iterations"`
+	MechResidual   float64 `json:"mech_residual"`
 }
 
 // Dynamics runs the coupled three-facet system: each epoch measures the
@@ -209,6 +215,7 @@ func (d *Dynamics) EpochCtx(ctx context.Context) (EpochStats, error) {
 	// 2. Run the workload. The epoch's bad-service delta comes from the
 	// engine's cumulative counters, not a log rescan.
 	before := d.eng.CumulativeStats()
+	itersBefore := d.eng.ComputeIterations()
 	if err := d.eng.RunContext(ctx, d.cfg.EpochRounds); err != nil {
 		return EpochStats{}, err
 	}
@@ -219,18 +226,8 @@ func (d *Dynamics) EpochCtx(ctx context.Context) (EpochStats, error) {
 	// 3. Measure facets and update trust, batched per shard. Each user's
 	// update touches only her own trust cell, so shards never contend.
 	assess := Assess(d.eng)
-	errs := make([]error, n)
-	sim.ForChunks(shards, n, func(lo, hi int) {
-		for u := lo; u < hi; u++ {
-			if _, err := d.tm.Update(u, assess.PerUser[u]); err != nil {
-				errs[u] = err
-			}
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return EpochStats{}, err
-		}
+	if err := d.tm.UpdateAll(assess.PerUser, shards); err != nil {
+		return EpochStats{}, err
 	}
 
 	// 4. Close the §3 loops for the next epoch, sharded the same way.
@@ -270,6 +267,10 @@ func (d *Dynamics) EpochCtx(ctx context.Context) (EpochStats, error) {
 		Honesty:      metrics.Mean(d.honesty),
 		Tau:          assess.Tau,
 		Community:    assess.Community,
+	}
+	st.MechIterations = int(d.eng.ComputeIterations() - itersBefore)
+	if conv, ok := d.eng.Convergence(); ok {
+		st.MechResidual = conv.Residual
 	}
 	if interactions > 0 {
 		st.BadRate = float64(bad) / float64(interactions)

@@ -1,0 +1,59 @@
+package metrics
+
+import "sort"
+
+// DirtySet tracks which of an open-ended id range changed since the last
+// Reset, so refresh passes can touch only the dirty entries instead of
+// rescanning the whole population. The zero value is an empty, usable set;
+// the bitmap grows on demand. Marking is O(1) amortized, membership is O(1),
+// and Sorted memoizes its ascending order between mutations.
+type DirtySet struct {
+	mark   []bool
+	ids    []int
+	sorted bool
+}
+
+// Mark records id as dirty. Negative ids are ignored.
+func (s *DirtySet) Mark(id int) {
+	if id < 0 {
+		return
+	}
+	if id >= len(s.mark) {
+		grown := make([]bool, id+1)
+		copy(grown, s.mark)
+		s.mark = grown
+	}
+	if s.mark[id] {
+		return
+	}
+	s.mark[id] = true
+	s.ids = append(s.ids, id)
+	s.sorted = len(s.ids) == 1 || (s.sorted && s.ids[len(s.ids)-2] < id)
+}
+
+// Dirty reports whether id has been marked since the last Reset.
+func (s *DirtySet) Dirty(id int) bool {
+	return id >= 0 && id < len(s.mark) && s.mark[id]
+}
+
+// Len returns the number of distinct dirty ids.
+func (s *DirtySet) Len() int { return len(s.ids) }
+
+// Sorted returns the dirty ids in ascending order. The slice is owned by the
+// set and valid until the next Mark or Reset.
+func (s *DirtySet) Sorted() []int {
+	if !s.sorted {
+		sort.Ints(s.ids)
+		s.sorted = true
+	}
+	return s.ids
+}
+
+// Reset clears the set, keeping the bitmap's capacity.
+func (s *DirtySet) Reset() {
+	for _, id := range s.ids {
+		s.mark[id] = false
+	}
+	s.ids = s.ids[:0]
+	s.sorted = true
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestDirtySetZeroValueUsable(t *testing.T) {
+	var s DirtySet
+	if s.Len() != 0 || s.Dirty(0) || len(s.Sorted()) != 0 {
+		t.Fatal("zero-value set not empty")
+	}
+	s.Mark(3)
+	if !s.Dirty(3) || s.Len() != 1 {
+		t.Fatal("Mark on zero value failed")
+	}
+}
+
+func TestDirtySetMarkDedupes(t *testing.T) {
+	var s DirtySet
+	for i := 0; i < 5; i++ {
+		s.Mark(7)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after repeated marks, want 1", s.Len())
+	}
+}
+
+func TestDirtySetIgnoresNegatives(t *testing.T) {
+	var s DirtySet
+	s.Mark(-1)
+	if s.Len() != 0 || s.Dirty(-1) {
+		t.Fatal("negative id recorded")
+	}
+}
+
+func TestDirtySetSortedMemoized(t *testing.T) {
+	var s DirtySet
+	for _, id := range []int{9, 2, 5, 2, 0, 9} {
+		s.Mark(id)
+	}
+	want := []int{0, 2, 5, 9}
+	got := s.Sorted()
+	if len(got) != len(want) {
+		t.Fatalf("Sorted = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+	// Ascending insertion after sorting keeps the memoized order valid.
+	s.Mark(11)
+	got = s.Sorted()
+	if got[len(got)-1] != 11 {
+		t.Fatalf("Sorted after ascending Mark = %v", got)
+	}
+}
+
+func TestDirtySetReset(t *testing.T) {
+	var s DirtySet
+	s.Mark(4)
+	s.Mark(1)
+	s.Reset()
+	if s.Len() != 0 || s.Dirty(4) || s.Dirty(1) {
+		t.Fatal("Reset left dirty state")
+	}
+	// The bitmap capacity survives; marking again works.
+	s.Mark(4)
+	if !s.Dirty(4) || s.Len() != 1 {
+		t.Fatal("Mark after Reset failed")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/social"
 )
@@ -37,6 +38,18 @@ type Ledger struct {
 	sensByOwner map[int]map[string]float64
 	// consent[owner] -> (total, consented) disclosure tallies
 	consent map[int]consentTally
+
+	// Facet cache: PrivacyFacet's item-key sort makes the cold query the
+	// most expensive per-user read in an epoch's measurement barrier, so
+	// owners whose ledger state did not change between barriers keep their
+	// previous value. Record marks the owner dirty; RefreshFacets (called
+	// sequentially, before any parallel fan-out) recomputes only the dirty
+	// owners. Readers never mutate the cache, so the fan-out stays race-free.
+	facetVal   []float64
+	facetOK    []bool
+	facetScale float64
+	facetInit  bool
+	facetDirty metrics.DirtySet
 }
 
 type consentTally struct{ total, ok int64 }
@@ -79,6 +92,7 @@ func (l *Ledger) Record(d Disclosure) {
 		t.ok++
 	}
 	l.consent[d.Owner] = t
+	l.facetDirty.Mark(d.Owner)
 }
 
 // Events returns all recorded events (shared; read-only).
@@ -158,7 +172,54 @@ func (l *Ledger) RespectRate(owner int) float64 {
 
 // PrivacyFacet computes owner's privacy satisfaction P_u as the paper's
 // "satisfaction in terms of privacy guarantees": respect of the user's PPs
-// times how much information did NOT have to be shared.
+// times how much information did NOT have to be shared. When RefreshFacets
+// has cached the owner's value at this scale, the cached value is returned;
+// otherwise the facet is computed on the fly without touching the cache, so
+// the call stays safe to fan out read-only over measurement shards.
 func (l *Ledger) PrivacyFacet(owner int, scale float64) float64 {
+	if l.facetInit && scale == l.facetScale &&
+		owner >= 0 && owner < len(l.facetOK) &&
+		l.facetOK[owner] && !l.facetDirty.Dirty(owner) {
+		return l.facetVal[owner]
+	}
 	return l.RespectRate(owner) * (1 - l.NormalizedExposure(owner, scale))
+}
+
+// RefreshFacets brings the facet cache up to date at the given normalization
+// scale: dirty owners (and, on first use or a scale change, every owner with
+// recorded events) get their PrivacyFacet recomputed and cached. It mutates
+// the cache and must run on a sequential phase, before PrivacyFacet calls fan
+// out over shards.
+func (l *Ledger) RefreshFacets(scale float64) {
+	if !l.facetInit || scale != l.facetScale {
+		for i := range l.facetOK {
+			l.facetOK[i] = false
+		}
+		l.facetScale = scale
+		l.facetInit = true
+		for owner := range l.consent {
+			l.cacheFacet(owner, scale)
+		}
+	} else {
+		for _, owner := range l.facetDirty.Sorted() {
+			l.cacheFacet(owner, scale)
+		}
+	}
+	l.facetDirty.Reset()
+}
+
+func (l *Ledger) cacheFacet(owner int, scale float64) {
+	if owner < 0 {
+		return
+	}
+	if owner >= len(l.facetOK) {
+		grownVal := make([]float64, owner+1)
+		copy(grownVal, l.facetVal)
+		l.facetVal = grownVal
+		grownOK := make([]bool, owner+1)
+		copy(grownOK, l.facetOK)
+		l.facetOK = grownOK
+	}
+	l.facetVal[owner] = l.RespectRate(owner) * (1 - l.NormalizedExposure(owner, scale))
+	l.facetOK[owner] = true
 }

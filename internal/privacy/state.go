@@ -20,6 +20,13 @@ func (l *Ledger) SetState(st LedgerState) {
 	l.byOwner = make(map[int]map[string]map[int]bool)
 	l.sensByOwner = make(map[int]map[string]float64)
 	l.consent = make(map[int]consentTally)
+	// Drop the facet cache entirely: the replay below marks every restored
+	// owner dirty, but a cold cache also forgets stale entries for owners
+	// the snapshot no longer contains.
+	l.facetVal = nil
+	l.facetOK = nil
+	l.facetInit = false
+	l.facetDirty.Reset()
 	if len(st.Events) > 0 {
 		l.events = make([]Disclosure, 0, len(st.Events))
 	}

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/crypto"
+	"repro/internal/metrics"
 	"repro/internal/reputation"
 	"repro/internal/sim"
 )
@@ -85,13 +86,21 @@ type Mechanism struct {
 	nyms  []*crypto.PseudonymChain
 	cur   []string            // current pseudonym per peer
 	accts map[string]*account // bank accounts, by pseudonym
-	epoch int
+	// acctOf[p] aliases accts[cur[p]]: the hot paths (Submit, Compute,
+	// TrustworthyFraction) index by peer id without hashing pseudonyms.
+	acctOf []*account
+	epoch  int
 	// lastTransfer records, for the most recent epoch change, the
 	// (oldScore, carriedScore) pair per peer — the adversary's view used
 	// by LinkabilityAdvantage.
 	lastTransfer []transfer
 	scores       []float64
 	dirty        bool
+	// dirtyPeers tracks ratees touched since the last Compute; allDirty
+	// forces a full refresh (epoch rotation re-bases every account, and a
+	// restored snapshot does not say which cached scores are stale).
+	dirtyPeers metrics.DirtySet
+	allDirty   bool
 }
 
 type transfer struct {
@@ -116,10 +125,12 @@ func New(cfg Config) (*Mechanism, error) {
 		cur:   make([]string, cfg.N),
 		accts: make(map[string]*account),
 	}
+	m.acctOf = make([]*account, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		m.nyms[i] = crypto.NewPseudonymChain(crypto.SeedFromUint64(cfg.Seed*7919 + uint64(i)))
 		m.cur[i] = m.nyms[i].Current()
 		m.accts[m.cur[i]] = &account{}
+		m.acctOf[i] = m.accts[m.cur[i]]
 	}
 	m.scores = make([]float64, cfg.N)
 	for i := range m.scores {
@@ -158,10 +169,11 @@ func (m *Mechanism) Submit(r reputation.Report) error {
 	if v > 1 {
 		v = 1
 	}
-	acct := m.accts[m.cur[r.Ratee]]
+	acct := m.acctOf[r.Ratee]
 	acct.sum += v
 	acct.count++
 	m.dirty = true
+	m.dirtyPeers.Mark(r.Ratee)
 	return nil
 }
 
@@ -184,26 +196,39 @@ func (m *Mechanism) quantize(v float64) float64 {
 func (m *Mechanism) NextEpoch() {
 	m.lastTransfer = m.lastTransfer[:0]
 	for p := 0; p < m.cfg.N; p++ {
-		old := m.accts[m.cur[p]]
+		old := m.acctOf[p]
 		oldObs := m.quantize(old.score(m.cfg.PriorStrength))
 		carried := m.quantize(old.score(m.cfg.PriorStrength) + m.rng.NormFloat64()*m.cfg.Noise)
 		nym, _ := m.nyms[p].Advance()
 		m.cur[p] = nym
 		m.accts[nym] = &account{base: carried, hasBase: true}
+		m.acctOf[p] = m.accts[nym]
 		m.lastTransfer = append(m.lastTransfer, transfer{peer: p, oldObs: oldObs, carried: carried})
 	}
 	m.epoch++
 	m.dirty = true
+	m.allDirty = true // every account was re-based
 }
 
-// Compute implements reputation.Mechanism.
+// Compute implements reputation.Mechanism. Between epoch rotations only the
+// peers rated since the last Compute are re-scored: each cached score is a
+// pure function of the peer's own account, so skipping untouched peers is
+// bit-identical to the full rescan.
 func (m *Mechanism) Compute() int {
 	if !m.dirty {
 		return 0
 	}
-	for p := 0; p < m.cfg.N; p++ {
-		m.scores[p] = m.accts[m.cur[p]].score(m.cfg.PriorStrength)
+	if m.allDirty {
+		for p := 0; p < m.cfg.N; p++ {
+			m.scores[p] = m.acctOf[p].score(m.cfg.PriorStrength)
+		}
+		m.allDirty = false
+	} else {
+		for _, p := range m.dirtyPeers.Sorted() {
+			m.scores[p] = m.acctOf[p].score(m.cfg.PriorStrength)
+		}
 	}
+	m.dirtyPeers.Reset()
 	m.dirty = false
 	return 1
 }
@@ -233,7 +258,7 @@ var _ reputation.ScoresViewer = (*Mechanism)(nil)
 func (m *Mechanism) TrustworthyFraction() float64 {
 	rated, positive := 0, 0
 	for p := 0; p < m.cfg.N; p++ {
-		acct := m.accts[m.cur[p]]
+		acct := m.acctOf[p]
 		if acct.count == 0 && !acct.hasBase {
 			continue
 		}

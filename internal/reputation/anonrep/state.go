@@ -82,6 +82,14 @@ func (m *Mechanism) RestoreMechanismState(data []byte) error {
 	for nym, a := range st.Accts {
 		m.accts[nym] = &account{base: a.Base, hasBase: a.HasBase, sum: a.Sum, count: a.Count}
 	}
+	m.acctOf = make([]*account, m.cfg.N)
+	for p := 0; p < m.cfg.N; p++ {
+		acct := m.accts[m.cur[p]]
+		if acct == nil {
+			return fmt.Errorf("anonrep: state has no account for peer %d's pseudonym", p)
+		}
+		m.acctOf[p] = acct
+	}
 	m.epoch = st.Epoch
 	m.lastTransfer = nil
 	for _, t := range st.LastTransfer {
@@ -89,6 +97,10 @@ func (m *Mechanism) RestoreMechanismState(data []byte) error {
 	}
 	m.scores = append([]float64(nil), st.Scores...)
 	m.dirty = st.Dirty
+	// The snapshot does not record which cached scores are stale; the next
+	// Compute rebuilds the cache in full.
+	m.dirtyPeers.Reset()
+	m.allDirty = true
 	return nil
 }
 

@@ -27,6 +27,14 @@ type Config struct {
 	Epsilon float64
 	// MaxIter bounds the power iteration, default 200.
 	MaxIter int
+	// ColdStart restarts every power iteration from the pretrust vector
+	// instead of warm-starting from the previous fixed point. The fixed
+	// point is unique for alpha > 0, so both starts converge to the same
+	// scores within Epsilon; warm starts just take fewer iterations on
+	// incremental recomputes. Cold starts reproduce the historical
+	// iteration-for-iteration trajectory (useful for bitwise regression
+	// baselines).
+	ColdStart bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -73,6 +81,9 @@ type Mechanism struct {
 	// Max-normalized score cache backing ScoresView.
 	norm    []float64
 	normMax float64
+	// Diagnostics of the most recent Compute that ran iterations.
+	lastConv reputation.Convergence
+	hasConv  bool
 }
 
 var _ reputation.Mechanism = (*Mechanism)(nil)
@@ -150,6 +161,23 @@ func (m *Mechanism) Submit(r reputation.Report) error {
 	return nil
 }
 
+// SubmitBatch implements reputation.BatchSubmitter: a whole round's reports
+// fold through LocalTrust.AddBatch, touching each dirty row once instead of
+// per report.
+func (m *Mechanism) SubmitBatch(rs []reputation.Report) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	if err := m.lt.AddBatch(rs); err != nil {
+		m.dirty = true // partial folds before the error still count
+		return fmt.Errorf("eigentrust: %w", err)
+	}
+	m.dirty = true
+	return nil
+}
+
+var _ reputation.BatchSubmitter = (*Mechanism)(nil)
+
 // refreshMatrix rematerializes the CSR rows whose local trust changed since
 // the last materialization — only the dirty set in steady state, every row
 // after a snapshot restore. Row materialization is a pure function of the
@@ -200,10 +228,16 @@ func (m *Mechanism) refreshNorm() {
 // Compute runs the power iteration t ← (1−α)·(Cᵀt + mᵀ·p) + α·p — where m
 // is the trust mass on dangling rows, folded in by the kernel's rank-one
 // correction instead of a dense pretrust fill — until the L1 change drops
-// below Epsilon, returning the number of iterations performed. Only dirty
-// CSR rows are rematerialized, the iteration reuses the mechanism's
-// buffers, and the SpMV scatters over the configured worker shards with a
-// canonical fold, so the result is identical for every worker count.
+// below Epsilon, returning the number of iterations performed. By default
+// the iteration warm-starts from the previous fixed point (the first
+// Compute starts from pretrust, which is what the scores are initialized
+// to), so an incremental recompute pays only as many iterations as the
+// matrix actually moved; Config.ColdStart restores the fixed pretrust
+// start. Epsilon is never loosened on warm starts — the stopping contract
+// is identical either way. Only dirty CSR rows are rematerialized, the
+// iteration reuses the mechanism's buffers, and the SpMV scatters over the
+// configured worker shards with a canonical fold, so the result is
+// identical for every worker count.
 func (m *Mechanism) Compute() int {
 	if !m.dirty {
 		return 0
@@ -211,8 +245,14 @@ func (m *Mechanism) Compute() int {
 	n := m.cfg.N
 	m.refreshMatrix()
 	t, next := m.vecA, m.vecB
-	copy(t, m.pretrust)
+	warm := !m.cfg.ColdStart
+	if warm {
+		copy(t, m.scores)
+	} else {
+		copy(t, m.pretrust)
+	}
 	iters := 0
+	residual := 0.0
 	for ; iters < m.cfg.MaxIter; iters++ {
 		m.csr.MulTranspose(next, t, m.pretrust, m.workers, &m.ws)
 		diff := 0.0
@@ -221,6 +261,7 @@ func (m *Mechanism) Compute() int {
 			diff += math.Abs(next[j] - t[j])
 		}
 		t, next = next, t
+		residual = diff
 		if diff < m.cfg.Epsilon {
 			iters++
 			break
@@ -230,8 +271,17 @@ func (m *Mechanism) Compute() int {
 	m.vecA, m.vecB = t, next // keep the buffer pair owned by the mechanism
 	m.refreshNorm()
 	m.dirty = false
+	m.lastConv = reputation.Convergence{Iterations: iters, Residual: residual, Warm: warm}
+	m.hasConv = true
 	return iters
 }
+
+// LastConvergence implements reputation.ConvergenceReporter.
+func (m *Mechanism) LastConvergence() (reputation.Convergence, bool) {
+	return m.lastConv, m.hasConv
+}
+
+var _ reputation.ConvergenceReporter = (*Mechanism)(nil)
 
 // Raw returns the global trust distribution (sums to 1).
 func (m *Mechanism) Raw() []float64 {

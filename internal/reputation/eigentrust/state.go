@@ -18,14 +18,20 @@ type mechanismState struct {
 	LT     reputation.LocalTrustState
 	Scores []float64
 	Dirty  bool
+	// Convergence diagnostics of the most recent iterative Compute, so
+	// restored runs report the same diagnostics an uninterrupted run would.
+	Conv    reputation.Convergence
+	HasConv bool
 }
 
 // MechanismState implements reputation.Snapshotter.
 func (m *Mechanism) MechanismState() ([]byte, error) {
 	st := mechanismState{
-		LT:     m.lt.State(),
-		Scores: append([]float64(nil), m.scores...),
-		Dirty:  m.dirty,
+		LT:      m.lt.State(),
+		Scores:  append([]float64(nil), m.scores...),
+		Dirty:   m.dirty,
+		Conv:    m.lastConv,
+		HasConv: m.hasConv,
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
@@ -50,6 +56,8 @@ func (m *Mechanism) RestoreMechanismState(data []byte) error {
 	m.refreshNorm()
 	m.dirty = st.Dirty
 	m.materialized = false
+	m.lastConv = st.Conv
+	m.hasConv = st.HasConv
 	return nil
 }
 

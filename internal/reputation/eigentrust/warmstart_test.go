@@ -1,0 +1,103 @@
+package eigentrust
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/reputation"
+	"repro/internal/sim"
+)
+
+// TestWarmStartConvergesFaster pins the point of warm starting: on an
+// incremental recompute after a small matrix perturbation, restarting from
+// the previous fixed point takes fewer iterations than restarting from
+// pretrust, and both land on the same fixed point (unique for alpha > 0)
+// within the shared Epsilon stopping contract.
+func TestWarmStartConvergesFaster(t *testing.T) {
+	const n = 120
+	build := func(cold bool) *Mechanism {
+		m, err := New(Config{N: n, Pretrusted: []int{0, 1}, ColdStart: cold})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedRandom(t, m, sim.NewRNG(8), n, 2000)
+		m.Compute() // both reach the fixed point of the initial matrix
+		return m
+	}
+	warm, cold := build(false), build(true)
+
+	// Perturb both matrices identically and recompute.
+	perturb := sim.NewRNG(15)
+	for k := 0; k < 40; k++ {
+		i, j := perturb.Intn(n), perturb.Intn(n)
+		if i == j {
+			continue
+		}
+		r := reputation.Report{Rater: i, Ratee: j, Value: perturb.Float64()}
+		if err := warm.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := cold.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warmIters := warm.Compute()
+	coldIters := cold.Compute()
+	if warmIters >= coldIters {
+		t.Fatalf("warm recompute took %d iterations, cold %d — warm start buys nothing", warmIters, coldIters)
+	}
+	// Same fixed point within the stopping tolerance (Epsilon bounds the L1
+	// step, so the iterates can differ by a few Epsilon around the target).
+	for j := range warm.Raw() {
+		if d := math.Abs(warm.Raw()[j] - cold.Raw()[j]); d > 1e-4 {
+			t.Fatalf("score[%d]: warm %v vs cold %v (|d|=%v)", j, warm.Raw()[j], cold.Raw()[j], d)
+		}
+	}
+
+	wc, ok := warm.LastConvergence()
+	if !ok || !wc.Warm || wc.Iterations != warmIters {
+		t.Fatalf("warm diagnostics = %+v ok=%v, want Warm=true Iterations=%d", wc, ok, warmIters)
+	}
+	cc, ok := cold.LastConvergence()
+	if !ok || cc.Warm || cc.Iterations != coldIters {
+		t.Fatalf("cold diagnostics = %+v ok=%v, want Warm=false Iterations=%d", cc, ok, coldIters)
+	}
+	if wc.Residual >= warm.cfg.Epsilon || cc.Residual >= cold.cfg.Epsilon {
+		t.Fatalf("converged runs report residuals %v / %v not below epsilon", wc.Residual, cc.Residual)
+	}
+}
+
+// TestConvergenceDiagnosticsSurviveSnapshot checks the diagnostics are part
+// of the serialized state: a restored mechanism reports its pre-snapshot
+// convergence rather than pretending it never computed.
+func TestConvergenceDiagnosticsSurviveSnapshot(t *testing.T) {
+	const n = 40
+	m, err := New(Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.LastConvergence(); ok {
+		t.Fatal("fresh mechanism claims convergence diagnostics")
+	}
+	feedRandom(t, m, sim.NewRNG(2), n, 400)
+	m.Compute()
+	want, ok := m.LastConvergence()
+	if !ok || want.Iterations == 0 {
+		t.Fatalf("diagnostics missing after Compute: %+v ok=%v", want, ok)
+	}
+	blob, err := m.MechanismState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := New(Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.RestoreMechanismState(blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.LastConvergence()
+	if !ok || got != want {
+		t.Fatalf("restored diagnostics %+v ok=%v, want %+v", got, ok, want)
+	}
+}

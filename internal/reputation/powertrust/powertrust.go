@@ -29,6 +29,12 @@ type Config struct {
 	// LookAhead enables the look-ahead random walk (default on via
 	// NewDefault; set false to ablate).
 	LookAhead bool
+	// ColdStart restarts every walk from the uniform distribution instead
+	// of warm-starting from the previous stationary point. Both converge to
+	// the same distribution within Epsilon (the walk is ergodic for
+	// alpha > 0); warm starts just take fewer rounds on incremental
+	// recomputes.
+	ColdStart bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -93,6 +99,12 @@ type Mechanism struct {
 	// Max-normalized score cache backing ScoresView.
 	norm    []float64
 	normMax float64
+	// Community-assessment scratch, reused across calls.
+	tfSums   []float64
+	tfCounts []int
+	// Diagnostics of the most recent Compute that ran rounds.
+	lastConv reputation.Convergence
+	hasConv  bool
 }
 
 var _ reputation.Mechanism = (*Mechanism)(nil)
@@ -195,6 +207,51 @@ func (m *Mechanism) Submit(r reputation.Report) error {
 	return nil
 }
 
+// SubmitBatch implements reputation.BatchSubmitter: a whole round's reports
+// fold in one call, reusing the rater's row map and dirty-row insert across
+// consecutive reports by the same rater. The result is exactly that of
+// calling Submit for each report in order; the first invalid report aborts
+// the batch with the reports before it already folded.
+func (m *Mechanism) SubmitBatch(rs []reputation.Report) error {
+	lastRater := -1
+	var row map[int]*pair
+	for i := range rs {
+		r := &rs[i]
+		if r.Rater < 0 || r.Rater >= m.cfg.N || r.Ratee < 0 || r.Ratee >= m.cfg.N {
+			return fmt.Errorf("powertrust: report %d->%d out of range [0,%d)", r.Rater, r.Ratee, m.cfg.N)
+		}
+		if r.Rater == r.Ratee {
+			return fmt.Errorf("powertrust: self-rating by %d rejected", r.Rater)
+		}
+		v := r.Value
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		if r.Rater != lastRater {
+			if m.feedback[r.Rater] == nil {
+				m.feedback[r.Rater] = make(map[int]*pair)
+			}
+			row = m.feedback[r.Rater]
+			m.dirtyRows[int32(r.Rater)] = struct{}{}
+			lastRater = r.Rater
+		}
+		p := row[r.Ratee]
+		if p == nil {
+			p = &pair{}
+			row[r.Ratee] = p
+		}
+		p.sum += v
+		p.count++
+		m.dirty = true
+	}
+	return nil
+}
+
+var _ reputation.BatchSubmitter = (*Mechanism)(nil)
+
 // electPowerNodes elects the m most reputable peers as power nodes, per the
 // PowerTrust paper ("a small number of the most reputable power nodes").
 // On the first election, before any global scores exist, it bootstraps from
@@ -233,10 +290,20 @@ func (m *Mechanism) electPowerNodes() []int {
 }
 
 // TrustworthyFraction implements reputation.CommunityAssessor: the fraction
-// of rated peers whose mean incoming rating is at least 0.5.
+// of rated peers whose mean incoming rating is at least 0.5. The scan stays
+// a full canonical recompute (incremental cross-peer float accumulators
+// would make results depend on fold order), but the accumulation buffers
+// are reused across calls.
 func (m *Mechanism) TrustworthyFraction() float64 {
-	sums := make([]float64, m.cfg.N)
-	counts := make([]int, m.cfg.N)
+	if m.tfSums == nil {
+		m.tfSums = make([]float64, m.cfg.N)
+		m.tfCounts = make([]int, m.cfg.N)
+	}
+	sums, counts := m.tfSums, m.tfCounts
+	for j := range sums {
+		sums[j] = 0
+		counts[j] = 0
+	}
 	for _, row := range m.feedback {
 		for j, p := range row {
 			sums[j] += p.sum
@@ -352,10 +419,13 @@ func (m *Mechanism) refreshNorm() {
 // L1 change drops below Epsilon. One look-ahead round applies the walk
 // operator twice — each node aggregates its neighbors' own aggregated
 // vectors, which is exactly one extra message exchange but halves the round
-// count. Returns the number of rounds. Only dirty CSR rows are
-// rematerialized, the walk reuses the mechanism's buffers, and the SpMV
-// scatters over the configured worker shards with a canonical fold, so the
-// result is identical for every worker count.
+// count. Returns the number of rounds. By default the walk warm-starts from
+// the previous stationary distribution (the first Compute starts uniform,
+// which is what the scores are initialized to); Config.ColdStart restores
+// the fixed uniform start. Epsilon is never loosened on warm starts. Only
+// dirty CSR rows are rematerialized, the walk reuses the mechanism's
+// buffers, and the SpMV scatters over the configured worker shards with a
+// canonical fold, so the result is identical for every worker count.
 func (m *Mechanism) Compute() int {
 	if !m.dirty {
 		return 0
@@ -371,10 +441,16 @@ func (m *Mechanism) Compute() int {
 	}
 	m.refreshMatrix()
 	t, next, mid := m.vecA, m.vecB, m.vecMid
-	for i := range t {
-		t[i] = 1 / float64(n)
+	warm := !m.cfg.ColdStart
+	if warm {
+		copy(t, m.scores)
+	} else {
+		for i := range t {
+			t[i] = 1 / float64(n)
+		}
 	}
 	rounds := 0
+	residual := 0.0
 	for ; rounds < m.cfg.MaxIter; rounds++ {
 		if m.cfg.LookAhead {
 			m.step(mid, t)
@@ -387,6 +463,7 @@ func (m *Mechanism) Compute() int {
 			diff += math.Abs(next[j] - t[j])
 		}
 		t, next = next, t
+		residual = diff
 		if diff < m.cfg.Epsilon {
 			rounds++
 			break
@@ -396,8 +473,17 @@ func (m *Mechanism) Compute() int {
 	m.vecA, m.vecB = t, next // keep the buffer pair owned by the mechanism
 	m.refreshNorm()
 	m.dirty = false
+	m.lastConv = reputation.Convergence{Iterations: rounds, Residual: residual, Warm: warm}
+	m.hasConv = true
 	return rounds
 }
+
+// LastConvergence implements reputation.ConvergenceReporter.
+func (m *Mechanism) LastConvergence() (reputation.Convergence, bool) {
+	return m.lastConv, m.hasConv
+}
+
+var _ reputation.ConvergenceReporter = (*Mechanism)(nil)
 
 // Raw returns the stationary distribution (sums to ~1).
 func (m *Mechanism) Raw() []float64 {

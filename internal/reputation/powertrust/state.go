@@ -27,14 +27,20 @@ type mechanismState struct {
 	Power     []int
 	Dirty     bool
 	DirtyRows []int32
+	// Convergence diagnostics of the most recent iterative Compute, so
+	// restored runs report the same diagnostics an uninterrupted run would.
+	Conv    reputation.Convergence
+	HasConv bool
 }
 
 // MechanismState implements reputation.Snapshotter.
 func (m *Mechanism) MechanismState() ([]byte, error) {
 	st := mechanismState{
-		Scores: append([]float64(nil), m.scores...),
-		Power:  append([]int(nil), m.power...),
-		Dirty:  m.dirty,
+		Scores:  append([]float64(nil), m.scores...),
+		Power:   append([]int(nil), m.power...),
+		Dirty:   m.dirty,
+		Conv:    m.lastConv,
+		HasConv: m.hasConv,
 	}
 	for i := range m.dirtyRows {
 		st.DirtyRows = append(st.DirtyRows, i)
@@ -93,6 +99,8 @@ func (m *Mechanism) RestoreMechanismState(data []byte) error {
 	m.dirty = st.Dirty
 	m.dirtyRows = dirtyRows
 	m.materialized = false
+	m.lastConv = st.Conv
+	m.hasConv = st.HasConv
 	return nil
 }
 

@@ -45,6 +45,17 @@ type Mechanism interface {
 // sat/unsat bookkeeping).
 const SatThreshold = 0.5
 
+// BatchSubmitter is implemented by mechanisms that can fold a whole round's
+// reports in one call, amortizing per-report overhead (row lookups,
+// dirty-set inserts) across the batch. Folding a batch must leave the
+// mechanism in exactly the state that calling Submit for each report in
+// order would; an invalid report aborts the batch with an error, the
+// reports before it already folded. Callers that need per-report error
+// isolation (reports of unvetted provenance) must use Submit.
+type BatchSubmitter interface {
+	SubmitBatch(rs []Report) error
+}
+
 // ScoresViewer is implemented by mechanisms that can expose their current
 // score vector without copying. The returned slice is READ-ONLY and valid
 // only until the mechanism's next Compute, Submit-triggered recompute, or
@@ -77,6 +88,23 @@ type ComputeSharder interface {
 	// SetComputeShards sets the worker count used by Compute (values < 1
 	// are clamped to 1).
 	SetComputeShards(k int)
+}
+
+// Convergence describes one iterative Compute run: how many iterations the
+// solver performed, the final L1 residual when it stopped, and whether the
+// iteration was warm-started from the previous fixed point.
+type Convergence struct {
+	Iterations int     `json:"iterations"`
+	Residual   float64 `json:"residual"`
+	Warm       bool    `json:"warm"`
+}
+
+// ConvergenceReporter is implemented by mechanisms whose Compute is an
+// iterative solver and can report the diagnostics of its most recent run.
+type ConvergenceReporter interface {
+	// LastConvergence returns the diagnostics of the most recent Compute
+	// that actually ran an iteration; ok is false before the first such run.
+	LastConvergence() (Convergence, bool)
 }
 
 // CommunityAssessor is implemented by mechanisms that can report their
@@ -147,6 +175,42 @@ func (l *LocalTrust) Add(r Report) error {
 	}
 	l.rows[r.Rater][int32(r.Ratee)] = c
 	l.markDirty(r.Rater)
+	return nil
+}
+
+// AddBatch folds a batch of reports, amortizing the row lookup and
+// dirty-set insert across consecutive reports by the same rater (a round's
+// reports arrive grouped by interaction, so runs of equal raters are
+// common). The result is exactly that of calling Add for each report in
+// order; the first invalid report aborts the batch with the reports before
+// it already folded.
+func (l *LocalTrust) AddBatch(rs []Report) error {
+	lastRater := -1
+	var row map[int32]cell
+	for i := range rs {
+		r := &rs[i]
+		if r.Rater < 0 || r.Rater >= l.n || r.Ratee < 0 || r.Ratee >= l.n {
+			return fmt.Errorf("reputation: report %d->%d out of range [0,%d)", r.Rater, r.Ratee, l.n)
+		}
+		if r.Rater == r.Ratee {
+			return fmt.Errorf("reputation: self-rating by %d rejected", r.Rater)
+		}
+		if r.Rater != lastRater {
+			if l.rows[r.Rater] == nil {
+				l.rows[r.Rater] = make(map[int32]cell)
+			}
+			row = l.rows[r.Rater]
+			l.markDirty(r.Rater)
+			lastRater = r.Rater
+		}
+		c := row[int32(r.Ratee)]
+		if r.Value >= SatThreshold {
+			c.sat++
+		} else {
+			c.unsat++
+		}
+		row[int32(r.Ratee)] = c
+	}
 	return nil
 }
 
@@ -355,22 +419,40 @@ func NewGatherer(rng *sim.RNG, disclosure []float64) *Gatherer {
 // SharedBy returns how many reports the given rater has disclosed.
 func (g *Gatherer) SharedBy(rater int) int64 { return g.sharedBy[rater] }
 
-// Offer submits the report to the mechanism iff the rater's disclosure
-// admits it. It reports whether the report was shared.
-func (g *Gatherer) Offer(m Mechanism, r Report) (bool, error) {
+// Admit performs the rater's disclosure draw without delivering anything:
+// it returns whether the rater shares the report, counting Withheld when
+// not. Callers that buffer admitted reports for batched delivery must call
+// Commit for each successfully delivered one, so the Gathered/SharedBy
+// accounting stays exactly what per-report Offer calls would produce.
+func (g *Gatherer) Admit(rater int) bool {
 	p := 1.0
-	if r.Rater >= 0 && r.Rater < len(g.disclosure) {
-		p = g.disclosure[r.Rater]
+	if rater >= 0 && rater < len(g.disclosure) {
+		p = g.disclosure[rater]
 	}
 	if !g.rng.Bool(p) {
 		g.Withheld++
+		return false
+	}
+	return true
+}
+
+// Commit records one admitted report as successfully delivered to the
+// mechanism (the second half of the Admit/Commit pair).
+func (g *Gatherer) Commit(rater int) {
+	g.Gathered++
+	g.sharedBy[rater]++
+}
+
+// Offer submits the report to the mechanism iff the rater's disclosure
+// admits it. It reports whether the report was shared.
+func (g *Gatherer) Offer(m Mechanism, r Report) (bool, error) {
+	if !g.Admit(r.Rater) {
 		return false, nil
 	}
 	if err := m.Submit(r); err != nil {
 		return false, err
 	}
-	g.Gathered++
-	g.sharedBy[r.Rater]++
+	g.Commit(r.Rater)
 	return true, nil
 }
 

@@ -1,0 +1,154 @@
+package trustme
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"repro/internal/reputation"
+	"repro/internal/sim"
+)
+
+// feedRandom submits `count` random valid reports, continuing the given
+// transaction counter so two mechanisms fed from split halves of one stream
+// see the same ids a single mechanism would.
+func feedRandom(t *testing.T, rng *sim.RNG, tx *uint64, count int, ms ...*Mechanism) {
+	t.Helper()
+	n := ms[0].cfg.N
+	for k := 0; k < count; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		*tx++
+		r := reputation.Report{TxID: *tx, Rater: i, Ratee: j, Value: rng.Float64()}
+		for _, m := range ms {
+			if err := m.Submit(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestIncrementalComputeMatchesFull pins the dirty-set refresh: a mechanism
+// that computed mid-stream (so only peers rated since then are re-fetched)
+// must produce bit-identical scores to one that saw every report before a
+// single Compute. Each cached score is a pure function of the peer's own
+// THA history, so the two paths are the same arithmetic.
+func TestIncrementalComputeMatchesFull(t *testing.T) {
+	const n = 25
+	inc, err := New(Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(13)
+	var tx uint64
+	for part := 0; part < 4; part++ {
+		feedRandom(t, rng, &tx, 150, inc, full)
+		inc.Compute() // partial refreshes along the way
+	}
+	inc.Compute()
+	full.Compute()
+	for p := 0; p < n; p++ {
+		if inc.Score(p) != full.Score(p) {
+			t.Fatalf("score[%d]: incremental %v != full %v", p, inc.Score(p), full.Score(p))
+		}
+	}
+}
+
+// TestTrustworthyFractionIncremental pins the community-assessment cache:
+// interleaved TrustworthyFraction calls (which refresh only dirty peers and
+// adjust the rated/positive tallies incrementally) must agree with a
+// mechanism whose first assessment sees the whole history at once.
+func TestTrustworthyFractionIncremental(t *testing.T) {
+	const n = 30
+	inc, err := New(Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(29)
+	var tx uint64
+	for part := 0; part < 5; part++ {
+		feedRandom(t, rng, &tx, 80, inc, full)
+		inc.TrustworthyFraction() // exercises the incremental tally path
+	}
+	// Whitewash empties one history: the incremental path must remove its
+	// old tally contribution, not just skip it.
+	inc.Whitewash(3)
+	full.Whitewash(3)
+	if got, want := inc.TrustworthyFraction(), full.TrustworthyFraction(); got != want {
+		t.Fatalf("incremental fraction %v != full-scan fraction %v", got, want)
+	}
+}
+
+// TestSnapshotRoundTripMidDirty snapshots with dirty peers pending (reports
+// after the last Compute and assessment) and checks restore-then-run equals
+// the uninterrupted run bit for bit, state blob included. The snapshot does
+// not record staleness, so the restored mechanism's first refreshes are
+// full-population — which must be indistinguishable from the incremental
+// continuation.
+func TestSnapshotRoundTripMidDirty(t *testing.T) {
+	const n = 20
+	orig, err := New(Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(7)
+	var tx uint64
+	feedRandom(t, rng, &tx, 200, orig)
+	orig.Compute()
+	orig.TrustworthyFraction()
+	feedRandom(t, rng, &tx, 60, orig) // pending dirty peers at snapshot time
+
+	blob, err := orig.MechanismState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreMechanismState(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	feedRandom(t, rng, &tx, 120, orig, restored)
+	orig.Compute()
+	restored.Compute()
+	for p := 0; p < n; p++ {
+		if orig.Score(p) != restored.Score(p) {
+			t.Fatalf("score[%d]: %v != %v after restore-then-run", p, orig.Score(p), restored.Score(p))
+		}
+	}
+	if a, b := orig.TrustworthyFraction(), restored.TrustworthyFraction(); a != b {
+		t.Fatalf("trustworthy fraction diverged after restore: %v != %v", a, b)
+	}
+	// The blobs cannot be compared byte-wise (gob serializes the certificate
+	// map in randomized order), so decode and compare structurally.
+	s1, s2 := decodeState(t, orig), decodeState(t, restored)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("states diverged after restore-then-run:\n%+v\n%+v", s1, s2)
+	}
+}
+
+func decodeState(t *testing.T, m *Mechanism) mechanismState {
+	t.Helper()
+	blob, err := m.MechanismState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st mechanismState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

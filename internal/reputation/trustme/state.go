@@ -70,6 +70,15 @@ func (m *Mechanism) RestoreMechanismState(data []byte) error {
 	m.Rejected = st.Rejected
 	m.scores = append([]float64(nil), st.Scores...)
 	m.dirty = st.Dirty
+	// The snapshot does not record which cached entries are stale, so the
+	// next Compute / TrustworthyFraction must rebuild their caches in full.
+	m.dirtyPeers.Reset()
+	m.allDirty = true
+	m.tfMean = make([]float64, m.cfg.N)
+	m.tfHas = make([]bool, m.cfg.N)
+	m.tfRated, m.tfPositive = 0, 0
+	m.tfDirty.Reset()
+	m.tfAll = true
 	return nil
 }
 

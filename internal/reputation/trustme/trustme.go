@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/dht"
+	"repro/internal/metrics"
 	"repro/internal/reputation"
 )
 
@@ -72,6 +73,23 @@ type Mechanism struct {
 	Rejected int64
 	scores   []float64
 	dirty    bool
+	// dirtyPeers tracks which ratees' THA histories changed since the last
+	// Compute, so a refresh fetches only those; allDirty forces a full
+	// refresh (after a restore, where the snapshot does not say which
+	// cached scores are stale).
+	dirtyPeers metrics.DirtySet
+	allDirty   bool
+	// The community-assessment cache mirrors the per-peer history means the
+	// same way, with incremental rated/positive tallies, so
+	// TrustworthyFraction re-reads only changed histories. tfDirty is
+	// tracked separately from dirtyPeers because the two consumers refresh
+	// at different times.
+	tfMean     []float64
+	tfHas      []bool
+	tfRated    int
+	tfPositive int
+	tfDirty    metrics.DirtySet
+	tfAll      bool
 }
 
 var _ reputation.Mechanism = (*Mechanism)(nil)
@@ -102,6 +120,8 @@ func New(cfg Config) (*Mechanism, error) {
 	for i := range m.scores {
 		m.scores[i] = 0.5
 	}
+	m.tfMean = make([]float64, cfg.N)
+	m.tfHas = make([]bool, cfg.N)
 	return m, nil
 }
 
@@ -179,18 +199,31 @@ func (m *Mechanism) Submit(r reputation.Report) error {
 	_ = m.nyms[r.Rater].Current() // pseudonym under which the report is filed
 	m.Messages += 2               // store + ack (routing hops counted by ring)
 	m.dirty = true
+	m.dirtyPeers.Mark(r.Ratee)
+	m.tfDirty.Mark(r.Ratee)
 	return nil
 }
 
 // Compute refreshes the score cache from THA storage. TrustMe is not
-// iterative, so it always completes in one round.
+// iterative, so it always completes in one round. Only peers whose stored
+// history changed since the last Compute are re-fetched: each cached score
+// is a pure function of the peer's own THA history, so skipping untouched
+// peers is bit-identical to the full rescan.
 func (m *Mechanism) Compute() int {
 	if !m.dirty {
 		return 0
 	}
-	for p := 0; p < m.cfg.N; p++ {
-		m.scores[p] = m.fetchScore(p)
+	if m.allDirty {
+		for p := 0; p < m.cfg.N; p++ {
+			m.scores[p] = m.fetchScore(p)
+		}
+		m.allDirty = false
+	} else {
+		for _, p := range m.dirtyPeers.Sorted() {
+			m.scores[p] = m.fetchScore(p)
+		}
 	}
+	m.dirtyPeers.Reset()
 	m.dirty = false
 	return 1
 }
@@ -233,31 +266,61 @@ func (m *Mechanism) ScoresView() []float64 { return m.scores }
 var _ reputation.ScoresViewer = (*Mechanism)(nil)
 
 // TrustworthyFraction implements reputation.CommunityAssessor: the fraction
-// of peers with THA-stored history whose mean rating is at least 0.5.
+// of peers with THA-stored history whose mean rating is at least 0.5. The
+// per-peer means and the rated/positive tallies are cached and refreshed
+// only for peers whose history changed, so the assessment costs O(changed)
+// ring reads instead of O(N). It mutates the cache and is meant for the
+// sequential measurement barrier, not concurrent readers. Scores served via
+// Score/Scores stay deliberately stale between Computes; the assessment
+// cache is separate and never freshens them.
 func (m *Mechanism) TrustworthyFraction() float64 {
-	rated, positive := 0, 0
-	for p := 0; p < m.cfg.N; p++ {
-		v, err := m.ring.Get(scoreKey(p))
-		if err != nil {
-			continue
+	if m.tfAll {
+		m.tfRated, m.tfPositive = 0, 0
+		for p := 0; p < m.cfg.N; p++ {
+			m.tfHas[p] = false
+			m.refreshTF(p)
 		}
-		ratings := decodeRatings(v)
-		if len(ratings) == 0 {
-			continue
-		}
-		rated++
-		sum := 0.0
-		for _, r := range ratings {
-			sum += r
-		}
-		if sum/float64(len(ratings)) >= 0.5 {
-			positive++
+		m.tfAll = false
+	} else {
+		for _, p := range m.tfDirty.Sorted() {
+			m.refreshTF(p)
 		}
 	}
-	if rated == 0 {
+	m.tfDirty.Reset()
+	if m.tfRated == 0 {
 		return 1
 	}
-	return float64(positive) / float64(rated)
+	return float64(m.tfPositive) / float64(m.tfRated)
+}
+
+// refreshTF re-derives one peer's assessment-cache entry from THA storage,
+// keeping the rated/positive tallies exact.
+func (m *Mechanism) refreshTF(p int) {
+	if m.tfHas[p] {
+		m.tfRated--
+		if m.tfMean[p] >= 0.5 {
+			m.tfPositive--
+		}
+		m.tfHas[p] = false
+	}
+	v, err := m.ring.Get(scoreKey(p))
+	if err != nil {
+		return
+	}
+	ratings := decodeRatings(v)
+	if len(ratings) == 0 {
+		return
+	}
+	sum := 0.0
+	for _, r := range ratings {
+		sum += r
+	}
+	m.tfMean[p] = sum / float64(len(ratings))
+	m.tfHas[p] = true
+	m.tfRated++
+	if m.tfMean[p] >= 0.5 {
+		m.tfPositive++
+	}
 }
 
 var _ reputation.CommunityAssessor = (*Mechanism)(nil)
@@ -274,6 +337,8 @@ func (m *Mechanism) Whitewash(peer int) {
 	m.ring.Delete(scoreKey(peer))
 	m.nyms[peer].Advance()
 	m.dirty = true
+	m.dirtyPeers.Mark(peer)
+	m.tfDirty.Mark(peer)
 }
 
 // RotatePseudonyms advances every peer's pseudonym chain (an anonymity

@@ -33,12 +33,23 @@ func clamp01(v float64) float64 {
 }
 
 // Consumer tracks one data consumer's intentions and satisfaction.
+//
+// Preferences have two representations. The dense form (NewConsumer) stores
+// one float per provider. The sparse form (NewUniformConsumer) stores a
+// shared default plus per-provider overrides for the providers actually
+// experienced — at population scale almost every preference is still the
+// untouched default, so the sparse form keeps memory proportional to
+// interactions, not population². Both forms run the identical EMA
+// arithmetic, so they are bit-for-bit interchangeable.
 type Consumer struct {
-	prefs   []float64 // intention: preference for each provider, in [0,1]
-	sat     float64
-	memory  float64
-	started bool
-	n       int64
+	prefs     []float64 // dense intention vector (nil in sparse form)
+	pop       int       // provider count in sparse form
+	def       float64   // sparse default preference
+	overrides map[int32]float64
+	sat       float64
+	memory    float64
+	started   bool
+	n         int64
 }
 
 // NewConsumer creates a consumer with initial preferences over providers.
@@ -60,12 +71,44 @@ func NewConsumer(prefs []float64, memory float64) (*Consumer, error) {
 	return c, nil
 }
 
+// NewUniformConsumer creates a consumer whose preference for every one of n
+// providers starts at the same value. Deviations from the default accumulate
+// sparsely as qualities are observed, so memory stays proportional to the
+// providers actually experienced rather than the population.
+func NewUniformConsumer(n int, pref, memory float64) (*Consumer, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("satisfaction: consumer needs at least one provider preference")
+	}
+	if memory == 0 {
+		memory = DefaultMemory
+	}
+	if memory < 0 || memory > 1 {
+		return nil, fmt.Errorf("satisfaction: memory %v out of (0,1]", memory)
+	}
+	return &Consumer{pop: n, def: clamp01(pref), memory: memory}, nil
+}
+
+// providerCount returns the number of providers the consumer has an
+// intention over, in either representation.
+func (c *Consumer) providerCount() int {
+	if c.prefs != nil {
+		return len(c.prefs)
+	}
+	return c.pop
+}
+
 // Preference returns the consumer's current preference for a provider.
 func (c *Consumer) Preference(provider int) float64 {
-	if provider < 0 || provider >= len(c.prefs) {
+	if provider < 0 || provider >= c.providerCount() {
 		return 0
 	}
-	return c.prefs[provider]
+	if c.prefs != nil {
+		return c.prefs[provider]
+	}
+	if v, ok := c.overrides[int32(provider)]; ok {
+		return v
+	}
+	return c.def
 }
 
 // UpdatePreference folds a delivered quality into the consumer's private
@@ -73,10 +116,21 @@ func (c *Consumer) Preference(provider int) float64 {
 // is assumed to be used by a data consumer to decide which providers she
 // prefers").
 func (c *Consumer) UpdatePreference(provider int, quality float64) {
-	if provider < 0 || provider >= len(c.prefs) {
+	if provider < 0 || provider >= c.providerCount() {
 		return
 	}
-	c.prefs[provider] = (1-c.memory)*c.prefs[provider] + c.memory*clamp01(quality)
+	if c.prefs != nil {
+		c.prefs[provider] = (1-c.memory)*c.prefs[provider] + c.memory*clamp01(quality)
+		return
+	}
+	cur := c.def
+	if v, ok := c.overrides[int32(provider)]; ok {
+		cur = v
+	}
+	if c.overrides == nil {
+		c.overrides = make(map[int32]float64)
+	}
+	c.overrides[int32(provider)] = (1-c.memory)*cur + c.memory*clamp01(quality)
 }
 
 // Adequacy returns how well allocating `chosen` matched the consumer's
@@ -85,7 +139,7 @@ func (c *Consumer) UpdatePreference(provider int, quality float64) {
 // or not among the candidates, and 1 when the system picked a most-preferred
 // candidate.
 func (c *Consumer) Adequacy(chosen int, candidates []int) float64 {
-	if chosen < 0 || chosen >= len(c.prefs) {
+	if chosen < 0 || chosen >= c.providerCount() {
 		return 0
 	}
 	best := 0.0
@@ -104,7 +158,7 @@ func (c *Consumer) Adequacy(chosen int, candidates []int) float64 {
 	if best == 0 {
 		return 1 // indifferent consumer: any allocation is adequate
 	}
-	return c.prefs[chosen] / best
+	return c.Preference(chosen) / best
 }
 
 // Observe records one allocation: it computes the allocation satisfaction
@@ -155,9 +209,14 @@ func (c *Consumer) Satisfaction() float64 {
 // Observations returns the number of allocation rounds folded in.
 func (c *Consumer) Observations() int64 { return c.n }
 
-// Provider tracks one data provider's intentions and satisfaction.
+// Provider tracks one data provider's intentions and satisfaction. Like
+// Consumer, it has a dense form (NewProvider: one willingness float per
+// consumer) and a sparse uniform form (NewUniformProvider: a shared default;
+// willingness is never mutated, so no overrides are needed).
 type Provider struct {
-	willingness []float64 // intention: willingness to serve each consumer
+	willingness []float64 // dense intention vector (nil in sparse form)
+	pop         int       // consumer count in sparse form
+	def         float64   // sparse uniform willingness
 	sat         float64
 	memory      float64
 	started     bool
@@ -182,12 +241,39 @@ func NewProvider(willingness []float64, memory float64) (*Provider, error) {
 	return p, nil
 }
 
+// NewUniformProvider creates a provider equally willing to serve every one
+// of n consumers, without materializing a per-consumer vector.
+func NewUniformProvider(n int, will, memory float64) (*Provider, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("satisfaction: provider needs at least one consumer willingness")
+	}
+	if memory == 0 {
+		memory = DefaultMemory
+	}
+	if memory < 0 || memory > 1 {
+		return nil, fmt.Errorf("satisfaction: memory %v out of (0,1]", memory)
+	}
+	return &Provider{pop: n, def: clamp01(will), memory: memory}, nil
+}
+
+// consumerCount returns the number of consumers the provider has an
+// intention over, in either representation.
+func (p *Provider) consumerCount() int {
+	if p.willingness != nil {
+		return len(p.willingness)
+	}
+	return p.pop
+}
+
 // Willingness returns the provider's willingness to serve a consumer.
 func (p *Provider) Willingness(consumer int) float64 {
-	if consumer < 0 || consumer >= len(p.willingness) {
+	if consumer < 0 || consumer >= p.consumerCount() {
 		return 0
 	}
-	return p.willingness[consumer]
+	if p.willingness != nil {
+		return p.willingness[consumer]
+	}
+	return p.def
 }
 
 // Observe records that the system allocated a request from `consumer` to

@@ -51,13 +51,21 @@ type interactionResult struct {
 }
 
 // planRound draws the round's interaction schedule from the main stream.
-func (e *Engine) planRound() []interactionPlan {
+// Consumers come from the active-peer index when churn has thinned the
+// population (nil pool = everyone present = uniform over 0..n, identical
+// draws to index-free planning). The Zipf activity path keeps mapping over
+// the full id range — its skew is a property of peer identity, so absent
+// heavy hitters simply drop their requests in simulate.
+func (e *Engine) planRound(pool []int) []interactionPlan {
 	plans := make([]interactionPlan, e.cfg.InteractionsPerRound)
 	for k := range plans {
 		var consumer int
-		if e.activity != nil {
+		switch {
+		case e.activity != nil:
 			consumer = e.activityOrder[e.activity.Next()]
-		} else {
+		case len(pool) > 0:
+			consumer = pool[e.rng.Intn(len(pool))]
+		default:
 			consumer = e.rng.Intn(e.cfg.NumPeers)
 		}
 		plans[k] = interactionPlan{consumer: consumer, rng: *e.rng.Split()}
@@ -67,11 +75,11 @@ func (e *Engine) planRound() []interactionPlan {
 
 // scatter simulates every planned interaction, fanning the index range out
 // over the engine's shards.
-func (e *Engine) scatter(plans []interactionPlan, scores []float64, gate float64) []interactionResult {
+func (e *Engine) scatter(plans []interactionPlan, scores []float64, gate float64, pool []int) []interactionResult {
 	results := make([]interactionResult, len(plans))
 	sim.ForChunks(e.shards, len(plans), func(lo, hi int) {
 		for k := lo; k < hi; k++ {
-			results[k] = e.simulate(&plans[k], scores, gate)
+			results[k] = e.simulate(&plans[k], scores, gate, pool)
 		}
 	})
 	return results
@@ -80,14 +88,14 @@ func (e *Engine) scatter(plans []interactionPlan, scores []float64, gate float64
 // simulate runs one interaction against round-immutable state. It must not
 // touch any state shared across interactions: all randomness comes from the
 // plan's private stream, and every mutation is deferred to gather.
-func (e *Engine) simulate(p *interactionPlan, scores []float64, gate float64) interactionResult {
+func (e *Engine) simulate(p *interactionPlan, scores []float64, gate float64, pool []int) interactionResult {
 	rng := &p.rng
 	r := interactionResult{consumer: p.consumer, provider: -1}
 	if !e.PeerActive(p.consumer) {
 		r.absent = true
 		return r
 	}
-	candidates := e.sampleCandidates(rng, p.consumer)
+	candidates := e.sampleCandidates(rng, p.consumer, pool)
 	if gate >= 0 {
 		eligible := candidates[:0]
 		for _, c := range candidates {

@@ -43,6 +43,7 @@ type EngineState struct {
 	Cumulative     RoundStats
 	GateFailures   int64
 	FakeReports    int64
+	ComputeIters   int64
 	ServedCount    []int
 	QualSum        []float64
 	TrustGate      float64
@@ -76,6 +77,7 @@ func (e *Engine) State() (EngineState, error) {
 		Cumulative:     e.cumulative,
 		GateFailures:   e.GateFailures,
 		FakeReports:    e.FakeReports,
+		ComputeIters:   e.computeIters,
 		ServedCount:    append([]int(nil), e.servedCount...),
 		QualSum:        append([]float64(nil), e.qualSum...),
 		TrustGate:      e.cfg.TrustGate,
@@ -167,12 +169,22 @@ func (e *Engine) Restore(st EngineState) error {
 	}
 	e.gatherer = reputation.RestoreGatherer(st.Gatherer)
 	e.active = append([]bool(nil), st.Active...)
+	// The active-peer index is derived state: recount eagerly, rebuild the
+	// id list lazily on next use.
+	e.activeDirty = true
+	e.activeCount = 0
+	for _, on := range e.active {
+		if on {
+			e.activeCount++
+		}
+	}
 	e.honestOverride = append([]float64(nil), st.HonestOverride...)
 	e.round = st.Round
 	e.rounds = append([]RoundStats(nil), st.Rounds...)
 	e.cumulative = st.Cumulative
 	e.GateFailures = st.GateFailures
 	e.FakeReports = st.FakeReports
+	e.computeIters = st.ComputeIters
 	copy(e.servedCount, st.ServedCount)
 	copy(e.qualSum, st.QualSum)
 	e.cfg.TrustGate = st.TrustGate

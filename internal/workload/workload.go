@@ -223,6 +223,25 @@ type Engine struct {
 	// Absent peers are never candidates, never serve, and their scheduled
 	// interactions are dropped (the request had no one to make it).
 	active []bool
+	// activeIDs is the sorted id list of present peers — the active-peer
+	// index round planning and candidate sampling draw from, so their cost
+	// tracks the active population rather than NumPeers. It is rebuilt
+	// lazily (activeDirty) after membership changes; activeCount is
+	// maintained eagerly so ActivePeers stays O(1). All three are derived
+	// from active and are deliberately not serialized.
+	activeIDs   []int
+	activeDirty bool
+	activeCount int
+	// pending buffers the reports the gatherer admits during a round; they
+	// flush to the mechanism in one batch at the end of the round (see
+	// flushReports). The buffer is always empty between rounds, so it is
+	// not part of EngineState.
+	pending []reputation.Report
+	// computeIters accumulates the iteration counts returned by every
+	// mechanism Compute the engine triggers (periodic recomputes and
+	// summary barriers) — the solver-cost ledger behind the facade's
+	// convergence diagnostics.
+	computeIters int64
 	// clique is the current colluder id set, shared by every colluder
 	// behaviour so intervention-time class swaps keep the clique coherent.
 	clique map[int]bool
@@ -315,17 +334,15 @@ func NewEngine(cfg Config, mech reputation.Mechanism) (*Engine, error) {
 	e.consumers = make([]*satisfaction.Consumer, cfg.NumPeers)
 	e.providers = make([]*satisfaction.Provider, cfg.NumPeers)
 	for i := 0; i < cfg.NumPeers; i++ {
-		prefs := make([]float64, cfg.NumPeers)
-		will := make([]float64, cfg.NumPeers)
-		for j := range prefs {
-			prefs[j] = 0.5
-			will[j] = 0.8 // providers mostly willing; imposed requests dent
-		}
-		c, err := satisfaction.NewConsumer(prefs, cfg.Memory)
+		// Sparse uniform intentions: preferences start at 0.5 and deviate only
+		// for providers actually experienced; providers are mostly willing
+		// (imposed requests dent satisfaction). Dense vectors here would cost
+		// Θ(n²) memory — fatal at 100k+ peers.
+		c, err := satisfaction.NewUniformConsumer(cfg.NumPeers, 0.5, cfg.Memory)
 		if err != nil {
 			return nil, err
 		}
-		p, err := satisfaction.NewProvider(will, cfg.Memory)
+		p, err := satisfaction.NewUniformProvider(cfg.NumPeers, 0.8, cfg.Memory)
 		if err != nil {
 			return nil, err
 		}
@@ -399,6 +416,10 @@ func (e *Engine) PrivacyFacets() []float64 {
 		}
 		return out
 	}
+	// Sequentially refresh the ledger's facet cache for owners dirtied since
+	// the last barrier; the sharded readers below then hit cached values
+	// without ever mutating ledger state.
+	e.ledger.RefreshFacets(e.ledgerScale)
 	sim.ForChunks(e.shards, len(out), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = e.ledger.PrivacyFacet(i, e.ledgerScale)
@@ -422,8 +443,11 @@ func (e *Engine) Round() RoundStats {
 	if cfg.TrustGate > 0 {
 		gate = metrics.Quantile(scores, cfg.TrustGate)
 	}
-	plans := e.planRound()
-	results := e.scatter(plans, scores, gate)
+	// Freshen the active index on the sequential path: the scatter phase
+	// reads it from every shard concurrently.
+	pool := e.activePool()
+	plans := e.planRound(pool)
+	results := e.scatter(plans, scores, gate, pool)
 	e.gather(results, &st)
 	// Malicious collective: each colluder fabricates one satisfied
 	// transaction about another clique member per round. Absent colluders
@@ -441,9 +465,10 @@ func (e *Engine) Round() RoundStats {
 			e.offerReport(e.snet.NextTxID(), c, m, 1.0)
 		}
 	}
+	e.flushReports()
 	e.round++
 	if e.round%cfg.RecomputeEvery == 0 {
-		e.mech.Compute()
+		e.computeIters += int64(e.mech.Compute())
 	}
 	e.rounds = append(e.rounds, st)
 	e.cumulative.Interactions += st.Interactions
@@ -468,31 +493,77 @@ func (e *Engine) rate(rng *sim.RNG, cu *social.User, consumer, provider int, qua
 	return cu.Behavior.Rate(rng, provider, quality), cu.Behavior.Honest(provider)
 }
 
+// offerReport runs the rater's disclosure draw at its canonical position in
+// the round and, when admitted, buffers the report for the end-of-round
+// batch flush. Deferring delivery does not change mechanism state: scores
+// are only consumed at Compute (end of round) and at the next round's start,
+// and the flush preserves report order.
 func (e *Engine) offerReport(tx uint64, rater, ratee int, value float64) {
-	// Gatherer errors only arise from malformed reports, which the engine
-	// never produces; drop the report if the mechanism rejects it.
-	shared, _ := e.gatherer.Offer(e.mech, reputation.Report{
+	if !e.gatherer.Admit(rater) {
+		return
+	}
+	e.pending = append(e.pending, reputation.Report{
 		TxID: tx, Rater: rater, Ratee: ratee, Value: value,
 	})
-	if shared && e.ledger != nil {
-		// Sharing feedback discloses the rater's behavioural data to the
-		// reputation layer (recipient -1 = the mechanism). Items are
-		// per-transaction so exposure grows with each shared report.
-		e.ledger.Record(privacy.Disclosure{
-			Owner:       rater,
-			Item:        "feedback/" + strconv.Itoa(rater) + "/" + strconv.FormatUint(tx, 10),
-			Sensitivity: social.Low,
-			Recipient:   -1,
-			Purpose:     privacy.ReputationUse,
-			Consented:   true,
-		})
+}
+
+// flushReports delivers the round's admitted reports to the mechanism — in
+// one SubmitBatch call when the mechanism supports it — and completes the
+// gatherer and ledger accounting for each delivered report, exactly as
+// per-report Offer calls would have. Mechanism errors only arise from
+// malformed reports, which the engine never produces; a rejected report is
+// dropped, like under per-report submission.
+func (e *Engine) flushReports() {
+	if len(e.pending) == 0 {
+		return
 	}
+	if bs, ok := e.mech.(reputation.BatchSubmitter); ok {
+		if bs.SubmitBatch(e.pending) == nil {
+			for i := range e.pending {
+				r := &e.pending[i]
+				e.gatherer.Commit(r.Rater)
+				e.recordFeedbackDisclosure(r.Rater, r.TxID)
+			}
+		}
+	} else {
+		for i := range e.pending {
+			r := &e.pending[i]
+			if e.mech.Submit(*r) != nil {
+				continue
+			}
+			e.gatherer.Commit(r.Rater)
+			e.recordFeedbackDisclosure(r.Rater, r.TxID)
+		}
+	}
+	e.pending = e.pending[:0]
+}
+
+// recordFeedbackDisclosure accounts one shared feedback report in the
+// privacy ledger: sharing feedback discloses the rater's behavioural data to
+// the reputation layer (recipient -1 = the mechanism). Items are
+// per-transaction so exposure grows with each shared report.
+func (e *Engine) recordFeedbackDisclosure(rater int, tx uint64) {
+	if e.ledger == nil {
+		return
+	}
+	e.ledger.Record(privacy.Disclosure{
+		Owner:       rater,
+		Item:        "feedback/" + strconv.Itoa(rater) + "/" + strconv.FormatUint(tx, 10),
+		Sensitivity: social.Low,
+		Recipient:   -1,
+		Purpose:     privacy.ReputationUse,
+		Consented:   true,
+	})
 }
 
 // sampleCandidates picks the candidate provider set for a consumer: its
-// friends first (social locality), padded with uniform strangers. It draws
-// only from the supplied stream so it is safe in the scatter phase.
-func (e *Engine) sampleCandidates(rng *sim.RNG, consumer int) []int {
+// friends first (social locality), padded with uniform strangers. Strangers
+// are drawn from the active-peer index (pool) when churn has thinned the
+// population — never rejection-sampled against all of 0..n — so the draw
+// cost tracks present peers. A nil pool means everyone is present and
+// strangers come uniformly from the full id range. It draws only from the
+// supplied stream so it is safe in the scatter phase.
+func (e *Engine) sampleCandidates(rng *sim.RNG, consumer int, pool []int) []int {
 	cfg := e.cfg
 	out := make([]int, 0, cfg.CandidateSize)
 	// Candidate sets are tiny (default 5), so a linear membership scan
@@ -519,8 +590,19 @@ func (e *Engine) sampleCandidates(rng *sim.RNG, consumer int) []int {
 			}
 		}
 	}
-	for guard := 0; len(out) < cfg.CandidateSize && guard < cfg.NumPeers*4; guard++ {
-		if p := rng.Intn(cfg.NumPeers); !seen(p) {
+	if pool == nil {
+		for guard := 0; len(out) < cfg.CandidateSize && guard < cfg.NumPeers*4; guard++ {
+			if p := rng.Intn(cfg.NumPeers); !seen(p) {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	// Draws from the pool only collide with self, friends already picked,
+	// or earlier duplicates, so a small multiple of the pool bounds the
+	// rejection loop even when few peers remain.
+	for guard := 0; len(out) < cfg.CandidateSize && guard < len(pool)*4; guard++ {
+		if p := pool[rng.Intn(len(pool))]; !seen(p) {
 			out = append(out, p)
 		}
 	}
@@ -573,18 +655,9 @@ func (e *Engine) SubmitExternalReport(rater, ratee int, value float64) error {
 	if err := e.mech.Submit(reputation.Report{TxID: tx, Rater: rater, Ratee: ratee, Value: value}); err != nil {
 		return fmt.Errorf("workload: %w", err)
 	}
-	if e.ledger != nil {
-		// Same accounting as a gathered in-simulation report: sharing
-		// feedback discloses the rater's behavioural data to the mechanism.
-		e.ledger.Record(privacy.Disclosure{
-			Owner:       rater,
-			Item:        "feedback/" + strconv.Itoa(rater) + "/" + strconv.FormatUint(tx, 10),
-			Sensitivity: social.Low,
-			Recipient:   -1,
-			Purpose:     privacy.ReputationUse,
-			Consented:   true,
-		})
-	}
+	// Same accounting as a gathered in-simulation report: sharing feedback
+	// discloses the rater's behavioural data to the mechanism.
+	e.recordFeedbackDisclosure(rater, tx)
 	return nil
 }
 
@@ -610,7 +683,7 @@ type Summary struct {
 
 // Summarize computes the summary so far.
 func (e *Engine) Summarize() Summary {
-	e.mech.Compute()
+	e.computeIters += int64(e.mech.Compute())
 	s := Summary{Rounds: e.round}
 	if e.cumulative.Interactions > 0 {
 		s.BadServiceRate = float64(e.cumulative.BadService) / float64(e.cumulative.Interactions)
@@ -723,9 +796,41 @@ func (e *Engine) SetPeerActive(peer int, on bool) error {
 		for i := range e.active {
 			e.active[i] = true
 		}
+		e.activeCount = e.cfg.NumPeers
+		e.activeDirty = true
 	}
-	e.active[peer] = on
+	if e.active[peer] != on {
+		e.active[peer] = on
+		if on {
+			e.activeCount++
+		} else {
+			e.activeCount--
+		}
+		e.activeDirty = true
+	}
 	return nil
+}
+
+// activePool returns the sorted id list of present peers, rebuilding it
+// from the membership bitmap only after a change. nil means everyone is
+// present (callers then draw from the full 0..NumPeers range, which makes
+// churn-free runs bit-identical to index-free sampling). Must be called
+// from the sequential phases only: the scatter shards read the returned
+// slice concurrently.
+func (e *Engine) activePool() []int {
+	if e.active == nil {
+		return nil
+	}
+	if e.activeDirty {
+		e.activeIDs = e.activeIDs[:0]
+		for i, on := range e.active {
+			if on {
+				e.activeIDs = append(e.activeIDs, i)
+			}
+		}
+		e.activeDirty = false
+	}
+	return e.activeIDs
 }
 
 // ActivePeers returns how many peers are currently present.
@@ -733,13 +838,21 @@ func (e *Engine) ActivePeers() int {
 	if e.active == nil {
 		return e.cfg.NumPeers
 	}
-	n := 0
-	for _, on := range e.active {
-		if on {
-			n++
-		}
+	return e.activeCount
+}
+
+// ComputeIterations returns the cumulative number of solver iterations the
+// mechanism has spent across every Compute the engine triggered.
+func (e *Engine) ComputeIterations() int64 { return e.computeIters }
+
+// Convergence returns the mechanism's diagnostics for its most recent
+// iterative Compute; ok is false when the mechanism is not an iterative
+// solver or has not recomputed yet.
+func (e *Engine) Convergence() (reputation.Convergence, bool) {
+	if cr, ok := e.mech.(reputation.ConvergenceReporter); ok {
+		return cr.LastConvergence()
 	}
-	return n
+	return reputation.Convergence{}, false
 }
 
 // SetTrustGate changes the privacy trust-gate strictness mid-run (a

@@ -193,6 +193,22 @@ func (e *Engine) SystemTrusted(threshold, q float64) bool {
 // PrivacyFacets returns each user's ledger-backed privacy facet.
 func (e *Engine) PrivacyFacets() []float64 { return e.dyn.Engine().PrivacyFacets() }
 
+// Convergence returns the reputation mechanism's diagnostics for its most
+// recent iterative Compute (iterations run, final L1 residual, whether it
+// was warm-started); ok is false when the mechanism is not an iterative
+// solver or has not recomputed yet. Per-epoch iteration counts also appear
+// in EpochStats.MechIterations.
+func (e *Engine) Convergence() (Convergence, bool) {
+	return e.dyn.Engine().Convergence()
+}
+
+// ComputeIterations returns the cumulative number of solver iterations the
+// mechanism has spent across the engine's whole run (it survives snapshot
+// round-trips).
+func (e *Engine) ComputeIterations() int64 {
+	return e.dyn.Engine().ComputeIterations()
+}
+
 // workloadEngine exposes the underlying engine to the package's own
 // assessment code.
 func (e *Engine) workloadEngine() *workload.Engine { return e.dyn.Engine() }

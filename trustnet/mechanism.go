@@ -33,6 +33,16 @@ type Whitewasher = reputation.Whitewasher
 // indicate the trustworthy of the global system").
 type CommunityAssessor = reputation.CommunityAssessor
 
+// Convergence describes one iterative Compute run: iterations performed,
+// final L1 residual, and whether the solver warm-started from the previous
+// fixed point.
+type Convergence = reputation.Convergence
+
+// ConvergenceReporter is implemented by mechanisms whose Compute is an
+// iterative solver reporting the diagnostics of its most recent run
+// (EigenTrust, PowerTrust).
+type ConvergenceReporter = reputation.ConvergenceReporter
+
 // Concrete mechanism types, for callers that need the implementation-
 // specific surface (TrustMe's message counter, AnonRep's epochs, ...).
 type (

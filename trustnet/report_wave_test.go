@@ -68,7 +68,11 @@ func TestReportWaveMatchesDirectSubmission(t *testing.T) {
 }
 
 // TestReportWaveChangesScores guards against the wave silently not landing:
-// a strongly negative report barrage about one peer must move its score.
+// a strongly positive report barrage about one peer must move its score. A
+// positive barrage is the robust probe: it always adds local-trust edges
+// into the ratee, whereas a zero-value barrage only changes the matrix when
+// the raters happened to hold positive opinions of the ratee already (a
+// trajectory-dependent accident of the scenario seed).
 func TestReportWaveChangesScores(t *testing.T) {
 	build := func(sched Schedule) *Engine {
 		eng, err := New(sessionScenario(3, WithReputationMechanism(EigenTrust(EigenTrustConfig{Pretrusted: []int{0, 1, 2}})))...)
@@ -88,7 +92,7 @@ func TestReportWaveChangesScores(t *testing.T) {
 	}
 	var barrage []Report
 	for rater := 10; rater < 30; rater++ {
-		barrage = append(barrage, Report{Rater: rater, Ratee: 4, Value: 0})
+		barrage = append(barrage, Report{Rater: rater, Ratee: 4, Value: 1})
 	}
 	plain := build(nil)
 	waved := build(Schedule{}.At(1, ReportWave{Reports: barrage}))
