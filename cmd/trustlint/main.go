@@ -1,0 +1,38 @@
+// Command trustlint is the repo's determinism & snapshot-completeness
+// analyzer suite, run as a vet tool:
+//
+//	go build -o trustlint ./cmd/trustlint
+//	go vet -vettool=$PWD/trustlint ./...
+//
+// It hosts four analyzers that enforce the equal-seeds ⇒ bit-identical
+// invariant at compile time over the deterministic packages (internal/core,
+// internal/workload, internal/reputation, internal/linalg, internal/metrics,
+// internal/sim, internal/satisfaction, internal/privacy):
+//
+//	mapiter           order-dependent iteration over maps
+//	nondeterm         wall-clock, global math/rand, env access, map formatting
+//	snapshotcomplete  snapshot encode/decode paths vs. declared struct fields
+//	foldorder         float accumulation inside goroutine bodies
+//
+// Individual analyzers can be disabled with -<name>=false. Findings are
+// suppressed only by the two reasoned waiver comments,
+// `//trustlint:ordered <reason>` and `//trustlint:derived <reason>`; see
+// the internal/analysis package documentation for the full grammar.
+package main
+
+import (
+	"repro/internal/analysis/foldorder"
+	"repro/internal/analysis/mapiter"
+	"repro/internal/analysis/nondeterm"
+	"repro/internal/analysis/snapshotcomplete"
+	"repro/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		mapiter.Analyzer,
+		nondeterm.Analyzer,
+		snapshotcomplete.Analyzer,
+		foldorder.Analyzer,
+	)
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/trustnet"
 )
@@ -87,8 +88,13 @@ func main() {
 	fmt.Printf("browsing session: %d grants, %d denials\n", grants, denials)
 	fmt.Printf("crawler harvesting emails for commercial use: denied %d/%d times\n", crawlerDenied, members)
 	fmt.Println("\ndenials by policy clause:")
-	for reason, count := range svc.Denials {
-		fmt.Printf("  %-25s %d\n", reason, count)
+	reasons := make([]trustnet.DenyReason, 0, len(svc.Denials))
+	for reason := range svc.Denials {
+		reasons = append(reasons, reason)
+	}
+	sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
+	for _, reason := range reasons {
+		fmt.Printf("  %-25s %d\n", reason, svc.Denials[reason])
 	}
 
 	// Each member can see exactly what about them went where.

@@ -1,0 +1,191 @@
+// Package analysistest runs an analysis.Analyzer over small fixture
+// packages and checks its diagnostics against expectations written in the
+// fixtures themselves, in the style of golang.org/x/tools' package of the
+// same name (which this module deliberately does not depend on).
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp"
+//
+// on the line the diagnostic should be reported at. Every diagnostic must
+// match a want comment on its line and every want comment must be matched
+// by a diagnostic, otherwise the test fails.
+//
+// Fixtures live under the analyzer's testdata/src/<pkg>/ directory and may
+// import only the standard library: they are type-checked with the
+// compiler's source importer so the harness works without a module cache.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// sharedImporter type-checks fixture imports from GOROOT source. It is
+// global (with its own FileSet) so the std packages a fixture pulls in are
+// checked once per test binary, not once per fixture.
+var (
+	importerOnce sync.Once
+	importerFset *token.FileSet
+	stdImporter  types.Importer
+)
+
+func sharedImporter() (*token.FileSet, types.Importer) {
+	importerOnce.Do(func() {
+		importerFset = token.NewFileSet()
+		stdImporter = importer.ForCompiler(importerFset, "source", nil)
+	})
+	return importerFset, stdImporter
+}
+
+// Run analyzes the fixture directory dir as a package imported as pkgpath
+// and checks the diagnostics against the // want comments in its files.
+// pkgpath controls whether the analyzers treat the fixture as one of the
+// repo's deterministic packages, so tests can exercise both sides of the
+// allowlist from the same sources.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	files := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files[e.Name()] = string(src)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no .go files in %s", dir)
+	}
+	RunSource(t, a, pkgpath, files)
+}
+
+// RunSource is Run for in-memory fixtures: files maps file names to Go
+// source text. It returns the diagnostics so callers can make assertions
+// beyond the // want comments.
+func RunSource(t *testing.T, a *analysis.Analyzer, pkgpath string, files map[string]string) []analysis.Diagnostic {
+	t.Helper()
+	fset, imp := sharedImporter()
+
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var parsed []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: parse %s: %v", name, err)
+		}
+		parsed = append(parsed, f)
+	}
+
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect what we can; fixtures must still compile
+	}
+	pkg, err := conf.Check(pkgpath, fset, parsed, info)
+	if err != nil {
+		t.Fatalf("analysistest: type-check %s: %v", pkgpath, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     parsed,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+
+	check(t, fset, parsed, got)
+	return got
+}
+
+// want is one expectation: a diagnostic matching rx at (file, line).
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// wantRe accepts both comment forms: the usual `// want "rx"` and the block
+// form `/* want "rx" */`, which is needed when the expected diagnostic lands
+// on a line that already ends in a //trustlint: waiver comment.
+var wantRe = regexp.MustCompile(`^(?://|/\*)\s*want\s+("(?:[^"\\]|\\.)*")`)
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, got []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("analysistest: bad want comment %q: %v", c.Text, err)
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("analysistest: bad want pattern %q: %v", pat, err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+			}
+		}
+	}
+
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", fmt.Sprintf("%s:%d", pos.Filename, pos.Line), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package foldorder flags floating-point accumulation performed inside
+// concurrently-running function literals in the deterministic packages.
+//
+// Floating-point addition is not associative, so folding shard results in
+// arrival order produces different bits on different runs. The repo's
+// scatter-gather discipline is: goroutine bodies (a `go` statement, or the
+// worker functions handed to sim.ForChunks / sim.RunIndexed) write only
+// per-index state — out[i] for indexes they own — and the spawning goroutine
+// folds the per-shard results in index order after the join. Accumulating
+// into a variable captured from the enclosing function breaks that
+// discipline twice over: it is a data race and, even under a mutex, an
+// order-dependent fold.
+//
+// Key-addressed writes (out[i] = …, out[i] += …) are the blessed pattern and
+// pass. A flagged statement that is genuinely order-independent can carry
+// `//trustlint:ordered <reason>`.
+package foldorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the foldorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "foldorder",
+	Doc:  "flag float accumulation into shared variables inside goroutine bodies",
+	Run:  run,
+}
+
+// workerFuncs are functions whose func-typed arguments run on worker
+// goroutines. Matched by name so the analyzer also works on test fixtures;
+// both live in repro/internal/sim.
+var workerFuncs = map[string]bool{"ForChunks": true, "RunIndexed": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.IsDeterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkWorker(pass, lit)
+				}
+			case *ast.CallExpr:
+				if isWorkerCall(n) {
+					for _, arg := range n.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							checkWorker(pass, lit)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isWorkerCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return workerFuncs[fun.Name]
+	case *ast.SelectorExpr:
+		return workerFuncs[fun.Sel.Name]
+	}
+	return false
+}
+
+// checkWorker scans one concurrently-running function literal for
+// order-dependent floating-point folds into captured variables.
+func checkWorker(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Lhs) != 1 {
+			return true
+		}
+		lhs := s.Lhs[0]
+		if !isFloatAccumulation(pass, s) || !isCapturedScalar(pass, lit, lhs) {
+			return true
+		}
+		if analysis.Suppressed(pass, s.Pos(), analysis.WaiverOrdered) {
+			return true
+		}
+		pass.Reportf(s.Pos(), "floating-point accumulation into %s captured by a goroutine body: fold shard results in index order on the spawning goroutine, or annotate //trustlint:ordered <reason>",
+			types.ExprString(lhs))
+		return true
+	})
+}
+
+// isFloatAccumulation reports whether the assignment folds a float into its
+// own target: x += e (also -=, *=, /=) or x = x ⊕ e.
+func isFloatAccumulation(pass *analysis.Pass, s *ast.AssignStmt) bool {
+	lhs := s.Lhs[0]
+	t := pass.TypesInfo.Types[lhs].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return false
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	case token.ASSIGN:
+		// x = x + e / x = e + x (and -, *, /).
+		bin, ok := s.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			want := types.ExprString(lhs)
+			return types.ExprString(bin.X) == want || types.ExprString(bin.Y) == want
+		}
+	}
+	return false
+}
+
+// isCapturedScalar reports whether lhs is a plain identifier or selector
+// rooted at a variable declared outside the function literal. Index
+// expressions (out[i]) are the blessed per-index pattern and excluded.
+func isCapturedScalar(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr) bool {
+	var root *ast.Ident
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		root = l
+	case *ast.SelectorExpr:
+		e := ast.Expr(l)
+		for {
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok {
+				break
+			}
+			e = sel.X
+		}
+		root, _ = e.(*ast.Ident)
+	}
+	if root == nil {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[root]
+	if obj == nil {
+		return false
+	}
+	// Free iff declared outside the literal's extent.
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}

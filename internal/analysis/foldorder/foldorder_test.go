@@ -1,0 +1,16 @@
+package foldorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/foldorder"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, foldorder.Analyzer, "repro/internal/linalg/fixture", "testdata/src/a")
+}
+
+func TestToolsPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, foldorder.Analyzer, "repro/tools/fixture", "testdata/src/b")
+}

@@ -1,0 +1,94 @@
+// Fixture for the foldorder analyzer, analyzed under a deterministic
+// package path.
+package a
+
+import "sync"
+
+// Sum folds into a captured float from goroutine bodies: arrival-order
+// dependent (and a data race), flagged.
+func Sum(xs []float64) float64 {
+	var wg sync.WaitGroup
+	var total float64
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			total += xs[i] // want "floating-point accumulation into total"
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+// SumSharded is the blessed scatter-gather shape: workers write only their
+// own per-shard cell; the spawning goroutine folds in index order.
+func SumSharded(xs []float64, shards int) float64 {
+	partial := make([]float64, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < len(xs); i += shards {
+				partial[s] += xs[i]
+			}
+		}(s)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// ForChunks stands in for sim.ForChunks: the analyzer matches worker
+// helpers by name, so fixtures need no import of the real package.
+func ForChunks(n, workers int, fn func(lo, hi int)) { fn(0, n) }
+
+// Mean accumulates into a captured float inside a worker body: flagged
+// even though the helper here happens to run it synchronously.
+func Mean(xs []float64) float64 {
+	var sum float64
+	ForChunks(len(xs), 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want "floating-point accumulation into sum"
+		}
+	})
+	return sum / float64(len(xs))
+}
+
+// Count accumulates an integer: exact and commutative, not flagged
+// (the race would be vet's and -race's business, not foldorder's).
+func Count(xs []int) int {
+	var n int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range xs {
+			n += 1
+		}
+	}()
+	wg.Wait()
+	return n
+}
+
+// Waived carries a reasoned waiver on the accumulation line: suppressed.
+func Waived(xs []float64) float64 {
+	var mu sync.Mutex
+	var total float64
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			//trustlint:ordered fixture: this path tolerates non-associative folding
+			total += xs[i]
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return total
+}

@@ -1,0 +1,19 @@
+// Fixture for the foldorder analyzer, analyzed under a NON-deterministic
+// package path: the same captured-float fold passes here.
+package b
+
+import "sync"
+
+func Sum(xs []float64) float64 {
+	var wg sync.WaitGroup
+	var total float64
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			total += xs[i]
+		}(i)
+	}
+	wg.Wait()
+	return total
+}

@@ -1,0 +1,16 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mapiter"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer, "repro/internal/core/fixture", "testdata/src/a")
+}
+
+func TestToolsPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer, "repro/tools/fixture", "testdata/src/b")
+}

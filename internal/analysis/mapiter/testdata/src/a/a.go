@@ -1,0 +1,113 @@
+// Fixture for the mapiter analyzer, analyzed under a deterministic package
+// path. Each // want comment is a diagnostic the analyzer must produce.
+package a
+
+import "sort"
+
+// Sum folds floats in iteration order: order-dependent, flagged.
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "order-dependent accumulation into total"
+		total += v
+	}
+	return total
+}
+
+// Keys collects then sorts: the blessed canonicalize idiom, not flagged.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// UnsortedKeys collects but never sorts: the slice leaks iteration order.
+func UnsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "never sorted before use"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Invert writes key-addressed cells: each iteration owns its slot.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// KeyedFold accumulates into cells addressed by the iteration key: each
+// cell folds exactly one contribution, so order is immaterial.
+func KeyedFold(m map[int]float64, out []float64) {
+	for j, v := range m {
+		out[j] += v
+	}
+}
+
+// Count is exact commutative integer accumulation.
+func Count(m map[string]bool) int {
+	n := 0
+	for _, ok := range m {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// HasPositive stores an iteration-independent value: order is moot.
+func HasPositive(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v > 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+// Prune deletes by key: key-addressed, order-independent.
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// EarlyExit returns a value derived from the iteration variable: which
+// entry wins depends on iteration order.
+func EarlyExit(m map[string]int) string {
+	for k, v := range m { // want "returns a value derived from the iteration variable"
+		if v > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+// Waived carries a reasoned waiver: suppressed without complaint.
+func Waived(m map[string]float64) float64 {
+	var total float64
+	//trustlint:ordered fixture: this path tolerates non-associative folding
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// MissingReason carries a bare waiver: the finding is suppressed but the
+// missing reason is itself reported, at the waiver comment.
+func MissingReason(m map[string]float64) float64 {
+	var total float64
+	/* want "waiver is missing its mandatory reason" */ //trustlint:ordered
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

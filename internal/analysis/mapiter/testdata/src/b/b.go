@@ -1,0 +1,21 @@
+// Fixture for the mapiter analyzer, analyzed under a NON-deterministic
+// package path (repro/tools/...): the same order-dependent code that is
+// flagged in fixture a must pass untouched here, proving the allowlist
+// exempts tools, cmd, and serve packages.
+package b
+
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func UnsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

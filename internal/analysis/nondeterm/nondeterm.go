@@ -1,0 +1,117 @@
+// Package nondeterm bans ambient-nondeterminism sources in the deterministic
+// packages: wall-clock reads (time.Now/Since/Until), the globally-seeded
+// math/rand generators, environment access (os.Getenv and friends), and fmt
+// formatting of map values.
+//
+// Randomness must flow through the seed-derived sim.RNG SplitMix64 streams so
+// every draw is reproducible and snapshot-able; wall-clock and environment
+// reads belong in cmd/, internal/serve and tools/, outside the bit-identity
+// surface. fmt's map rendering sorts keys but its order is not guaranteed for
+// all key kinds (NaNs, interfaces), so maps may not be formatted directly in
+// the deterministic packages.
+//
+// There is no waiver for this analyzer: a hit is either a real bug or code
+// that belongs outside the deterministic allowlist.
+package nondeterm
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nondeterm pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterm",
+	Doc:  "ban wall-clock, global math/rand, env access and map formatting in deterministic packages",
+	Run:  run,
+}
+
+// bannedFuncs maps package path -> function name -> reason fragment.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock is allowed only in cmd/, internal/serve and tools/",
+		"Since": "wall-clock is allowed only in cmd/, internal/serve and tools/",
+		"Until": "wall-clock is allowed only in cmd/, internal/serve and tools/",
+	},
+	"os": {
+		"Getenv":    "environment access makes runs host-dependent; thread configuration through the scenario instead",
+		"LookupEnv": "environment access makes runs host-dependent; thread configuration through the scenario instead",
+		"Environ":   "environment access makes runs host-dependent; thread configuration through the scenario instead",
+	},
+}
+
+// bannedImports are packages whose mere presence on the deterministic path
+// is a bug: their generators are globally seeded and not snapshot-able.
+var bannedImports = map[string]string{
+	"math/rand":    "randomness must flow through the seed-derived sim.RNG streams",
+	"math/rand/v2": "randomness must flow through the seed-derived sim.RNG streams",
+}
+
+// fmtFormatters are the fmt functions whose rendering of a map argument is
+// banned. All of them funnel through the same printer.
+var fmtFormatters = map[string]bool{
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Errorf": true, "Append": true, "Appendf": true, "Appendln": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.IsDeterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if reason, ok := bannedImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic package: %s", path, reason)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.CallExpr:
+				checkFmtCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if reason, ok := bannedFuncs[fn.Pkg().Path()][fn.Name()]; ok {
+		pass.Reportf(sel.Pos(), "use of %s.%s in deterministic package: %s", fn.Pkg().Path(), fn.Name(), reason)
+	}
+}
+
+func checkFmtCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !fmtFormatters[sel.Sel.Name] {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	for _, arg := range call.Args {
+		t := pass.TypesInfo.Types[arg].Type
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			pass.Reportf(arg.Pos(), "formatting map %s with fmt.%s in deterministic package: map rendering order is not guaranteed; sort the keys and format entries explicitly", types.ExprString(arg), fn.Name())
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package nondeterm_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nondeterm"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, nondeterm.Analyzer, "repro/internal/core/fixture", "testdata/src/a")
+}
+
+func TestToolsPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, nondeterm.Analyzer, "repro/tools/fixture", "testdata/src/b")
+}

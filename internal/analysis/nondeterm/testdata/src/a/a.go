@@ -1,0 +1,42 @@
+// Fixture for the nondeterm analyzer, analyzed under a deterministic
+// package path.
+package a
+
+import (
+	"fmt"
+	"math/rand" // want "import of math/rand in deterministic package"
+	"os"
+	"time"
+)
+
+var _ = rand.Int
+
+// Timestamp reads the wall clock: run-dependent, flagged.
+func Timestamp() int64 {
+	return time.Now().Unix() // want "use of time.Now in deterministic package"
+}
+
+// Elapsed measures wall-clock time: flagged.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "use of time.Since in deterministic package"
+}
+
+// FromEnv reads ambient process state: flagged.
+func FromEnv() string {
+	return os.Getenv("SEED") // want "use of os.Getenv in deterministic package"
+}
+
+// Epoch constructs a fixed instant: allowed — no wall-clock read.
+func Epoch() time.Time {
+	return time.Unix(0, 0)
+}
+
+// Render formats a map through fmt: iteration order leaks into the string.
+func Render(m map[string]int) string {
+	return fmt.Sprintf("%v", m) // want "formatting map m with fmt.Sprintf in deterministic package"
+}
+
+// RenderSlice formats a slice: deterministic, allowed.
+func RenderSlice(s []int) string {
+	return fmt.Sprintf("%v", s)
+}

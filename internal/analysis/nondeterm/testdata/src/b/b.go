@@ -1,0 +1,22 @@
+// Fixture for the nondeterm analyzer, analyzed under a NON-deterministic
+// package path (repro/tools/...): wall-clock reads, environment lookups and
+// map formatting are all legitimate outside the deterministic core.
+package b
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func Timestamp() int64 {
+	return time.Now().Unix()
+}
+
+func FromEnv() string {
+	return os.Getenv("SEED")
+}
+
+func Render(m map[string]int) string {
+	return fmt.Sprintf("%v", m)
+}

@@ -1,0 +1,272 @@
+// Package snapshotcomplete cross-checks the structs participating in the
+// repo's snapshot machinery against their encode/decode paths, killing the
+// recurring "added a field, forgot the snapshot" bug class.
+//
+// The snapshot idiom is uniform across the deterministic packages: a live
+// struct T carries unexported mutable state; a method on T named State,
+// Snapshot or MechanismState captures it into an exported state struct S
+// (either returned directly or gob-encoded to a []byte); a method named
+// SetState, Restore or RestoreMechanismState — or a package function named
+// Restore<T> — writes it back. The analyzer enforces, for every such pair:
+//
+//   - every field of the live struct T is read somewhere in T's encode
+//     path, or carries `//trustlint:derived <reason>` declaring it
+//     configuration/derived state that is deliberately rebuilt;
+//   - every field of the state struct S is filled by the encode path
+//     (forgetting one silently gob-encodes a zero value);
+//   - every field of S is consumed by the decode path (forgetting one
+//     silently drops restored state).
+//
+// Field mentions are resolved through the type checker, so reading a field
+// inside a nested expression (d.cfg.BaseHonesty), a composite-literal key
+// (Trust: …) or a copy/append call all count.
+package snapshotcomplete
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the snapshotcomplete pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotcomplete",
+	Doc:  "cross-check snapshot state structs against their encode/decode paths",
+	Run:  run,
+}
+
+var (
+	encodeNames = map[string]bool{"State": true, "Snapshot": true, "MechanismState": true}
+	decodeNames = map[string]bool{"SetState": true, "Restore": true, "RestoreMechanismState": true}
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.IsDeterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	type pathInfo struct {
+		fns   []*ast.FuncDecl
+		names []string // method names, for diagnostics
+	}
+	encByRecv := make(map[*types.Named]*pathInfo)  // live struct -> encode fns
+	encByState := make(map[*types.Named]*pathInfo) // state struct -> encode fns
+	decByState := make(map[*types.Named]*pathInfo) // state struct -> decode fns
+	stateStructs := make(map[*types.Named]bool)
+
+	add := func(m map[*types.Named]*pathInfo, key *types.Named, fn *ast.FuncDecl) {
+		info := m[key]
+		if info == nil {
+			info = &pathInfo{}
+			m[key] = info
+		}
+		info.fns = append(info.fns, fn)
+		info.names = append(info.names, fn.Name.Name)
+	}
+
+	var decls []*ast.FuncDecl
+	for _, f := range pass.SourceFiles() {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				decls = append(decls, fn)
+			}
+		}
+	}
+
+	// Pass 1: encode paths, which also discover the state structs.
+	for _, fn := range decls {
+		if fn.Recv == nil || !encodeNames[fn.Name.Name] {
+			continue
+		}
+		recv := receiverNamed(pass, fn)
+		if recv == nil {
+			continue
+		}
+		add(encByRecv, recv, fn)
+		s := stateStructOf(pass, fn)
+		if s != nil {
+			stateStructs[s] = true
+			add(encByState, s, fn)
+		}
+	}
+
+	// Pass 2: decode paths (methods, plus Restore* package functions).
+	for _, fn := range decls {
+		isMethod := fn.Recv != nil && decodeNames[fn.Name.Name]
+		isFunc := fn.Recv == nil && strings.HasPrefix(fn.Name.Name, "Restore")
+		if !isMethod && !isFunc {
+			continue
+		}
+		s := paramStateStruct(pass, fn)
+		if s == nil && isMethod {
+			s = localStateStruct(pass, fn, stateStructs)
+		}
+		if s != nil {
+			add(decByState, s, fn)
+		}
+	}
+
+	// Checks. Iterate structs in source order for deterministic output.
+	report := func(m map[*types.Named]*pathInfo, check func(*types.Named, *pathInfo)) {
+		keys := make([]*types.Named, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Obj().Pos() < keys[j].Obj().Pos() })
+		for _, k := range keys {
+			check(k, m[k])
+		}
+	}
+
+	report(encByRecv, func(recv *types.Named, info *pathInfo) {
+		mentioned := mentionedFields(pass, info.fns)
+		eachField(recv, func(f *types.Var) {
+			if mentioned[f] || analysis.Suppressed(pass, f.Pos(), analysis.WaiverDerived) {
+				return
+			}
+			pass.Reportf(f.Pos(), "field %s.%s is not captured by the snapshot encode path (%s) and not annotated //trustlint:derived <reason>",
+				recv.Obj().Name(), f.Name(), strings.Join(info.names, ", "))
+		})
+	})
+	report(encByState, func(s *types.Named, info *pathInfo) {
+		mentioned := mentionedFields(pass, info.fns)
+		eachField(s, func(f *types.Var) {
+			if mentioned[f] || analysis.Suppressed(pass, f.Pos(), analysis.WaiverDerived) {
+				return
+			}
+			pass.Reportf(f.Pos(), "snapshot field %s.%s is never filled by the encode path (%s) — added a field and forgot the snapshot?",
+				s.Obj().Name(), f.Name(), strings.Join(info.names, ", "))
+		})
+	})
+	report(decByState, func(s *types.Named, info *pathInfo) {
+		mentioned := mentionedFields(pass, info.fns)
+		eachField(s, func(f *types.Var) {
+			if mentioned[f] || analysis.Suppressed(pass, f.Pos(), analysis.WaiverDerived) {
+				return
+			}
+			pass.Reportf(f.Pos(), "snapshot field %s.%s is not consumed by the restore path (%s) — restore is incomplete",
+				s.Obj().Name(), f.Name(), strings.Join(info.names, ", "))
+		})
+	})
+	return nil, nil
+}
+
+// receiverNamed resolves a method's receiver to its named struct type, or
+// nil if the receiver is not a (pointer to) package-local struct.
+func receiverNamed(pass *analysis.Pass, fn *ast.FuncDecl) *types.Named {
+	if len(fn.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.TypesInfo.Types[fn.Recv.List[0].Type].Type
+	return packageStruct(pass, t)
+}
+
+// packageStruct unwraps pointers and reports t as a named struct type
+// declared in the package under analysis, or nil.
+func packageStruct(pass *analysis.Pass, t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Pkg {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// stateStructOf identifies the state struct an encode method produces:
+// its first struct result, or failing that (the gob []byte wrappers) the
+// first package-local struct composite literal in its body.
+func stateStructOf(pass *analysis.Pass, fn *ast.FuncDecl) *types.Named {
+	if fn.Type.Results != nil {
+		for _, res := range fn.Type.Results.List {
+			if s := packageStruct(pass, pass.TypesInfo.Types[res.Type].Type); s != nil {
+				return s
+			}
+		}
+	}
+	var found *types.Named
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if lit, ok := n.(*ast.CompositeLit); ok {
+			if s := packageStruct(pass, pass.TypesInfo.Types[lit].Type); s != nil {
+				found = s
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// paramStateStruct returns the first parameter whose type is a package-local
+// named struct (the state struct of a SetState/Restore signature).
+func paramStateStruct(pass *analysis.Pass, fn *ast.FuncDecl) *types.Named {
+	for _, p := range fn.Type.Params.List {
+		if s := packageStruct(pass, pass.TypesInfo.Types[p.Type].Type); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// localStateStruct finds the state struct a []byte-decoding method
+// deserializes into: the first local variable whose type is one of the known
+// state structs (`var st mechanismState`).
+func localStateStruct(pass *analysis.Pass, fn *ast.FuncDecl, known map[*types.Named]bool) *types.Named {
+	var found *types.Named
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if s := packageStruct(pass, obj.Type()); s != nil && known[s] {
+			found = s
+		}
+		return true
+	})
+	return found
+}
+
+// mentionedFields collects every struct field object referenced anywhere in
+// the given function bodies: selector expressions, composite-literal keys,
+// nested accesses — the type checker records them all as uses.
+func mentionedFields(pass *analysis.Pass, fns []*ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, fn := range fns {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && v.IsField() {
+					out[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func eachField(named *types.Named, fn func(*types.Var)) {
+	st := named.Underlying().(*types.Struct)
+	for i := 0; i < st.NumFields(); i++ {
+		fn(st.Field(i))
+	}
+}

@@ -1,0 +1,58 @@
+package snapshotcomplete_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotcomplete"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, snapshotcomplete.Analyzer, "repro/internal/reputation/fixture", "testdata/src/a")
+}
+
+func TestToolsPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, snapshotcomplete.Analyzer, "repro/tools/fixture", "testdata/src/b")
+}
+
+// TestForgottenFieldRegression replays the failure mode the analyzer
+// exists to prevent: a mechanism grows a new piece of live state
+// (`momentum`) and its author forgets to thread it through the snapshot.
+// The analyzer must name exactly that field and nothing else.
+func TestForgottenFieldRegression(t *testing.T) {
+	const src = `package fixture
+
+// Mechanism mirrors the repo's reputation-mechanism snapshot idiom.
+type Mechanism struct {
+	scores   []float64
+	round    int
+	momentum []float64 // want "field Mechanism.momentum is not captured by the snapshot encode path"
+}
+
+type MechanismState struct {
+	Scores []float64
+	Round  int
+}
+
+func (m *Mechanism) State() MechanismState {
+	return MechanismState{
+		Scores: append([]float64(nil), m.scores...),
+		Round:  m.round,
+	}
+}
+
+func (m *Mechanism) SetState(s MechanismState) {
+	m.scores = append([]float64(nil), s.Scores...)
+	m.round = s.Round
+}
+`
+	diags := analysistest.RunSource(t, snapshotcomplete.Analyzer, "repro/internal/reputation/fixture",
+		map[string]string{"mech.go": src})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 (the forgotten field)", len(diags))
+	}
+	if !strings.Contains(diags[0].Message, "momentum") {
+		t.Fatalf("diagnostic does not name the forgotten field: %s", diags[0].Message)
+	}
+}

@@ -1,0 +1,47 @@
+// Fixture for the snapshotcomplete analyzer, analyzed under a
+// deterministic package path. Engine follows the repo's live-struct +
+// State/SetState snapshot idiom, with one deliberately forgotten live
+// field, one snapshot field the restore ignores, and one snapshot field the
+// encode never fills.
+package a
+
+// Engine is the live struct.
+type Engine struct {
+	scores  []float64
+	round   int
+	cache   []float64 // want "field Engine.cache is not captured by the snapshot encode path"
+	scratch []float64 //trustlint:derived per-call scratch, contents never outlive one call
+	tmp     []byte    /* want "waiver is missing its mandatory reason" */ //trustlint:derived
+}
+
+// EngineState is the snapshot.
+type EngineState struct {
+	Scores []float64
+	Round  int
+	Extra  int // want "snapshot field EngineState.Extra is not consumed by the restore path"
+	Legacy int // want "snapshot field EngineState.Legacy is never filled by the encode path"
+}
+
+// State captures the engine.
+func (e *Engine) State() EngineState {
+	return EngineState{
+		Scores: append([]float64(nil), e.scores...),
+		Round:  e.round,
+		Extra:  7,
+	}
+}
+
+// SetState restores the engine.
+func (e *Engine) SetState(s EngineState) {
+	e.scores = append([]float64(nil), s.Scores...)
+	e.round = s.Round
+	_ = s.Legacy
+}
+
+// Plain has no snapshot methods and is ignored by the analyzer.
+type Plain struct {
+	hidden int
+}
+
+// Grow is an unrelated method.
+func (p *Plain) Grow() { p.hidden++ }

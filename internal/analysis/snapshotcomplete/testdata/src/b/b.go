@@ -1,0 +1,20 @@
+// Fixture for the snapshotcomplete analyzer, analyzed under a
+// NON-deterministic package path: the same forgotten field passes here.
+package b
+
+type Engine struct {
+	scores []float64
+	cache  []float64
+}
+
+type EngineState struct {
+	Scores []float64
+}
+
+func (e *Engine) State() EngineState {
+	return EngineState{Scores: append([]float64(nil), e.scores...)}
+}
+
+func (e *Engine) SetState(s EngineState) {
+	e.scores = append([]float64(nil), s.Scores...)
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The two waiver kinds of the suppression-comment grammar
+// `//trustlint:<kind> <reason>`. Reasons are mandatory: a waiver with an
+// empty reason does not suppress anything and is reported by the analyzer
+// that consults it, so the tree can never carry an unexplained exemption.
+const (
+	// WaiverOrdered asserts a construct flagged by mapiter or foldorder is
+	// order-independent for a reason the analyzer cannot see.
+	WaiverOrdered = "ordered"
+	// WaiverDerived asserts a struct field flagged by snapshotcomplete is
+	// configuration or derived state, deliberately rebuilt rather than
+	// serialized.
+	WaiverDerived = "derived"
+)
+
+// Waiver is one parsed //trustlint: suppression comment.
+type Waiver struct {
+	Kind   string
+	Reason string
+	Pos    token.Pos
+}
+
+// WaiverIndex locates //trustlint: comments by file line so analyzers can
+// ask whether a node is covered by a waiver on its own line or the line
+// directly above it.
+type WaiverIndex struct {
+	fset   *token.FileSet
+	byLine map[lineKey][]Waiver
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// NewWaiverIndex scans the files' comments for the //trustlint: directive
+// grammar and indexes them by position.
+func NewWaiverIndex(fset *token.FileSet, files []*ast.File) *WaiverIndex {
+	ix := &WaiverIndex{fset: fset, byLine: make(map[lineKey][]Waiver)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//trustlint:")
+				if !ok {
+					continue
+				}
+				kind, reason, _ := strings.Cut(rest, " ")
+				kind = strings.TrimSpace(kind)
+				if kind == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey{file: pos.Filename, line: pos.Line}
+				ix.byLine[key] = append(ix.byLine[key], Waiver{
+					Kind:   kind,
+					Reason: strings.TrimSpace(reason),
+					Pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return ix
+}
+
+// At returns the waiver of the given kind covering pos: a //trustlint:
+// comment trailing the same line or sitting on the line directly above.
+func (ix *WaiverIndex) At(pos token.Pos, kind string) (Waiver, bool) {
+	p := ix.fset.Position(pos)
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, w := range ix.byLine[lineKey{file: p.Filename, line: line}] {
+			if w.Kind == kind {
+				return w, true
+			}
+		}
+	}
+	return Waiver{}, false
+}
+
+// Suppressed is the shared waiver-consultation path of the analyzers: it
+// reports whether pos carries a waiver of the given kind, and reports a
+// diagnostic through the pass when the waiver is present but missing its
+// mandatory reason (the waiver still suppresses the underlying finding, so
+// exactly one diagnostic — "explain this waiver" — results).
+func Suppressed(pass *Pass, pos token.Pos, kind string) bool {
+	w, ok := pass.Waivers().At(pos, kind)
+	if !ok {
+		return false
+	}
+	if w.Reason == "" {
+		pass.Reportf(w.Pos, "//trustlint:%s waiver is missing its mandatory reason", kind)
+	}
+	return true
+}

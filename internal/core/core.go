@@ -160,9 +160,9 @@ func CombineArithmetic(f Facets, w Weights) (float64, error) {
 // can have her own perception of the level of trust she can have in the
 // system").
 type TrustModel struct {
-	weights     Weights
-	userWeights map[int]Weights
-	inertia     float64
+	weights     Weights         //trustlint:derived configuration, re-established when the model is rebuilt from the scenario
+	userWeights map[int]Weights //trustlint:derived configuration, re-established when the model is rebuilt from the scenario
+	inertia     float64         //trustlint:derived configuration, re-established when the model is rebuilt from the scenario
 	trust       []float64
 	started     []bool
 }

@@ -33,11 +33,11 @@ type Disclosure struct {
 type Ledger struct {
 	events []Disclosure
 	// byOwner[owner][item] -> set of recipients
-	byOwner map[int]map[string]map[int]bool
+	byOwner map[int]map[string]map[int]bool //trustlint:derived index rebuilt by replaying Events through Record on SetState
 	// sensByOwner[owner][item] -> max sensitivity weight seen for the item
-	sensByOwner map[int]map[string]float64
+	sensByOwner map[int]map[string]float64 //trustlint:derived index rebuilt by replaying Events through Record on SetState
 	// consent[owner] -> (total, consented) disclosure tallies
-	consent map[int]consentTally
+	consent map[int]consentTally //trustlint:derived index rebuilt by replaying Events through Record on SetState
 
 	// Facet cache: PrivacyFacet's item-key sort makes the cold query the
 	// most expensive per-user read in an epoch's measurement barrier, so
@@ -45,11 +45,11 @@ type Ledger struct {
 	// previous value. Record marks the owner dirty; RefreshFacets (called
 	// sequentially, before any parallel fan-out) recomputes only the dirty
 	// owners. Readers never mutate the cache, so the fan-out stays race-free.
-	facetVal   []float64
-	facetOK    []bool
-	facetScale float64
-	facetInit  bool
-	facetDirty metrics.DirtySet
+	facetVal   []float64        //trustlint:derived cache dropped by SetState and recomputed by RefreshFacets
+	facetOK    []bool           //trustlint:derived cache dropped by SetState and recomputed by RefreshFacets
+	facetScale float64          //trustlint:derived cache dropped by SetState and recomputed by RefreshFacets
+	facetInit  bool             //trustlint:derived cache dropped by SetState and recomputed by RefreshFacets
+	facetDirty metrics.DirtySet //trustlint:derived cache dropped by SetState and recomputed by RefreshFacets
 }
 
 type consentTally struct{ total, ok int64 }
@@ -197,6 +197,7 @@ func (l *Ledger) RefreshFacets(scale float64) {
 		}
 		l.facetScale = scale
 		l.facetInit = true
+		//trustlint:ordered cacheFacet writes only the owner's own facetVal/facetOK cells, so visit order is immaterial
 		for owner := range l.consent {
 			l.cacheFacet(owner, scale)
 		}

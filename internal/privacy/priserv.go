@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/dht"
 	"repro/internal/sim"
@@ -266,8 +267,8 @@ func (s *Service) OverdueCopies(now sim.Time) int {
 	return n
 }
 
-// Keys returns all live published keys (sorted by publication map order is
-// avoided — callers needing determinism should sort).
+// Keys returns all live published keys in sorted order, so every caller
+// observes the registry deterministically.
 func (s *Service) Keys() []string {
 	out := make([]string, 0, len(s.registry))
 	for k, m := range s.registry {
@@ -275,17 +276,17 @@ func (s *Service) Keys() []string {
 			out = append(out, k)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 
-// VerifyIntegrity re-reads every live key from the DHT and checks both the
-// MAC seal and the publisher's digest (OECD data quality + security
+// VerifyIntegrity re-reads every live key from the DHT in sorted key order
+// (so a run with several corruptions always reports the same one) and checks
+// both the MAC seal and the publisher's digest (OECD data quality + security
 // safeguards).
 func (s *Service) VerifyIntegrity() error {
-	for k, m := range s.registry {
-		if m.withdrawn {
-			continue
-		}
+	for _, k := range s.Keys() {
+		m := s.registry[k]
 		blob, err := s.ring.Get(k)
 		if err != nil {
 			return fmt.Errorf("privacy: integrity: fetch %q: %w", k, err)

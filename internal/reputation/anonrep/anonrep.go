@@ -81,14 +81,14 @@ func (a *account) score(prior float64) float64 {
 
 // Mechanism is the pseudonymous reputation engine.
 type Mechanism struct {
-	cfg   Config
+	cfg   Config //trustlint:derived configuration, identical by construction on restore
 	rng   *sim.RNG
 	nyms  []*crypto.PseudonymChain
 	cur   []string            // current pseudonym per peer
 	accts map[string]*account // bank accounts, by pseudonym
 	// acctOf[p] aliases accts[cur[p]]: the hot paths (Submit, Compute,
 	// TrustworthyFraction) index by peer id without hashing pseudonyms.
-	acctOf []*account
+	acctOf []*account //trustlint:derived alias index rebuilt from cur/accts by restore
 	epoch  int
 	// lastTransfer records, for the most recent epoch change, the
 	// (oldScore, carriedScore) pair per peer — the adversary's view used
@@ -99,8 +99,8 @@ type Mechanism struct {
 	// dirtyPeers tracks ratees touched since the last Compute; allDirty
 	// forces a full refresh (epoch rotation re-bases every account, and a
 	// restored snapshot does not say which cached scores are stale).
-	dirtyPeers metrics.DirtySet
-	allDirty   bool
+	dirtyPeers metrics.DirtySet //trustlint:derived restore resets it and sets allDirty, forcing a full cache rebuild
+	allDirty   bool             //trustlint:derived set by restore, consumed by the next Compute
 }
 
 type transfer struct {

@@ -63,24 +63,24 @@ func (c Config) withDefaults() (Config, error) {
 // dangling rows, on buffers reused across computes (zero steady-state
 // allocation). Scores are bit-for-bit identical for every worker count.
 type Mechanism struct {
-	cfg      Config
+	cfg      Config //trustlint:derived configuration, identical by construction on restore
 	lt       *reputation.LocalTrust
-	pretrust []float64
+	pretrust []float64 //trustlint:derived configuration, rebuilt by New from cfg.Pretrusted
 	scores   []float64 // global trust distribution (sums to 1)
 	dirty    bool
 
 	// Sparse kernel state.
-	csr          *linalg.CSR
-	ws           linalg.Workspace
-	workers      int
-	materialized bool // false forces a full CSR rebuild on next Compute
+	csr          *linalg.CSR      //trustlint:derived rematerialized from the local-trust matrix on first Compute after restore
+	ws           linalg.Workspace //trustlint:derived scratch, contents never outlive one Compute
+	workers      int              //trustlint:derived configuration (SetWorkers), not part of the deterministic state
+	materialized bool             //trustlint:derived cleared by restore to force a full CSR rebuild
 	// Reusable iteration and materialization scratch.
-	vecA, vecB []float64
-	colScratch []int32
-	valScratch []float64
+	vecA, vecB []float64 //trustlint:derived scratch, contents never outlive one Compute
+	colScratch []int32   //trustlint:derived scratch, contents never outlive one Compute
+	valScratch []float64 //trustlint:derived scratch, contents never outlive one Compute
 	// Max-normalized score cache backing ScoresView.
-	norm    []float64
-	normMax float64
+	norm    []float64 //trustlint:derived cache, recomputed from scores by refreshNorm on restore
+	normMax float64   //trustlint:derived cache, recomputed from scores by refreshNorm on restore
 	// Diagnostics of the most recent Compute that ran iterations.
 	lastConv reputation.Convergence
 	hasConv  bool

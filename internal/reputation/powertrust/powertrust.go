@@ -78,30 +78,30 @@ type pair struct {
 // (look-ahead) random walk runs the shared shard-parallel SpMV on reusable
 // buffers, bit-for-bit identical for every worker count.
 type Mechanism struct {
-	cfg      Config
+	cfg      Config          //trustlint:derived configuration, identical by construction on restore
 	feedback []map[int]*pair // feedback[i][j]: i's ratings of j
 	scores   []float64
 	power    []int
 	dirty    bool
 
 	// Sparse kernel state.
-	csr          *linalg.CSR
-	ws           linalg.Workspace
-	workers      int
-	materialized bool               // false forces a full CSR rebuild on next Compute
+	csr          *linalg.CSR        //trustlint:derived rematerialized from the feedback matrix on first Compute after restore
+	ws           linalg.Workspace   //trustlint:derived scratch, contents never outlive one Compute
+	workers      int                //trustlint:derived configuration (SetWorkers), not part of the deterministic state
+	materialized bool               //trustlint:derived cleared by restore to force a full CSR rebuild
 	dirtyRows    map[int32]struct{} // rows whose CSR materialization is stale
-	uniform      []float64          // the dangling-row jump distribution 1/n
-	jump         []float64          // power-node jump distribution (reused)
+	uniform      []float64          //trustlint:derived constant 1/n vector, rebuilt by New
+	jump         []float64          //trustlint:derived recomputed from the power-node election each Compute
 	// Reusable iteration and materialization scratch.
-	vecA, vecB, vecMid []float64
-	colScratch         []int32
-	valScratch         []float64
+	vecA, vecB, vecMid []float64 //trustlint:derived scratch, contents never outlive one Compute
+	colScratch         []int32   //trustlint:derived scratch, contents never outlive one Compute
+	valScratch         []float64 //trustlint:derived scratch, contents never outlive one Compute
 	// Max-normalized score cache backing ScoresView.
-	norm    []float64
-	normMax float64
+	norm    []float64 //trustlint:derived cache, recomputed from scores by refreshNorm on restore
+	normMax float64   //trustlint:derived cache, recomputed from scores by refreshNorm on restore
 	// Community-assessment scratch, reused across calls.
-	tfSums   []float64
-	tfCounts []int
+	tfSums   []float64 //trustlint:derived scratch, zeroed at the top of every TrustworthyFraction
+	tfCounts []int     //trustlint:derived scratch, zeroed at the top of every TrustworthyFraction
 	// Diagnostics of the most recent Compute that ran rounds.
 	lastConv reputation.Convergence
 	hasConv  bool

@@ -235,6 +235,7 @@ func (l *LocalTrust) AppendRow(i int, cols []int32, vals []float64) ([]int32, []
 		return cols, vals
 	}
 	start := len(cols)
+	//trustlint:ordered the appended keys are sorted just below through the row alias of cols[start:]
 	for j, c := range l.rows[i] {
 		if c.sat > c.unsat {
 			cols = append(cols, j)
@@ -514,8 +515,8 @@ func SelectProportional(rng *sim.RNG, scores []float64, candidates []int) int {
 // None is the no-reputation baseline: every peer scores the same neutral
 // value, so response policies degrade to uniform choice.
 type None struct {
-	n      int
-	scores []float64
+	n      int       //trustlint:derived configuration, fixed by NewNone
+	scores []float64 //trustlint:derived constant neutral vector, rebuilt identically by NewNone
 }
 
 // NewNone returns the baseline for n peers.

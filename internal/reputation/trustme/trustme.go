@@ -62,7 +62,7 @@ var ErrCertMismatch = errors.New("trustme: report does not match certificate")
 
 // Mechanism is the TrustMe scoring engine.
 type Mechanism struct {
-	cfg   Config
+	cfg   Config //trustlint:derived configuration, identical by construction on restore
 	ring  *dht.Ring
 	certs map[uint64]crypto.TransactionCert
 	nyms  []*crypto.PseudonymChain
@@ -77,19 +77,19 @@ type Mechanism struct {
 	// Compute, so a refresh fetches only those; allDirty forces a full
 	// refresh (after a restore, where the snapshot does not say which
 	// cached scores are stale).
-	dirtyPeers metrics.DirtySet
-	allDirty   bool
+	dirtyPeers metrics.DirtySet //trustlint:derived restore resets it and sets allDirty, forcing a full cache rebuild
+	allDirty   bool             //trustlint:derived set by restore, consumed by the next Compute
 	// The community-assessment cache mirrors the per-peer history means the
 	// same way, with incremental rated/positive tallies, so
 	// TrustworthyFraction re-reads only changed histories. tfDirty is
 	// tracked separately from dirtyPeers because the two consumers refresh
 	// at different times.
-	tfMean     []float64
-	tfHas      []bool
-	tfRated    int
-	tfPositive int
-	tfDirty    metrics.DirtySet
-	tfAll      bool
+	tfMean     []float64        //trustlint:derived cache rebuilt in full on the first TrustworthyFraction after restore (tfAll)
+	tfHas      []bool           //trustlint:derived cache rebuilt in full on the first TrustworthyFraction after restore (tfAll)
+	tfRated    int              //trustlint:derived cache rebuilt in full on the first TrustworthyFraction after restore (tfAll)
+	tfPositive int              //trustlint:derived cache rebuilt in full on the first TrustworthyFraction after restore (tfAll)
+	tfDirty    metrics.DirtySet //trustlint:derived cache rebuilt in full on the first TrustworthyFraction after restore (tfAll)
+	tfAll      bool             //trustlint:derived set by restore, consumed by the next TrustworthyFraction
 }
 
 var _ reputation.Mechanism = (*Mechanism)(nil)

@@ -47,7 +47,7 @@ type Consumer struct {
 	def       float64   // sparse default preference
 	overrides map[int32]float64
 	sat       float64
-	memory    float64
+	memory    float64 //trustlint:derived EMA weight is configuration, re-established when the engine is rebuilt
 	started   bool
 	n         int64
 }
@@ -218,7 +218,7 @@ type Provider struct {
 	pop         int       // consumer count in sparse form
 	def         float64   // sparse uniform willingness
 	sat         float64
-	memory      float64
+	memory      float64 //trustlint:derived EMA weight is configuration, re-established when the engine is rebuilt
 	started     bool
 	n           int64
 }

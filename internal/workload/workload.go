@@ -201,7 +201,7 @@ type Engine struct {
 	// ledger, when attached, accounts every information flow: the
 	// consumer's profile attribute disclosed to the provider on each
 	// interaction, and each feedback report disclosed to the mechanism.
-	ledger      *privacy.Ledger
+	ledger      *privacy.Ledger //trustlint:derived attached by the owner; the ledger snapshots itself through its own State/SetState
 	ledgerScale float64
 	// GateFailures counts allocation rounds where the trust gate left no
 	// eligible candidate.
@@ -209,15 +209,15 @@ type Engine struct {
 	// colluders lists the peers forming the malicious collective; every
 	// round they ballot-stuff: fabricate one satisfied transaction each
 	// about a clique member (the EigenTrust threat model's collective).
-	colluders []int
+	colluders []int //trustlint:derived configuration, rebuilt from the scenario's adversary classes
 	// FakeReports counts ballot-stuffed reports offered.
 	FakeReports int64
 	// activity, when set, draws consumers from a Zipf distribution mapped
 	// through activityOrder.
 	activity      *sim.Zipf
-	activityOrder []int
+	activityOrder []int //trustlint:derived configuration, a fixed permutation of the peer ids derived from the scenario seed
 	// shards is the worker count of the scatter phase (>= 1); see shard.go.
-	shards int
+	shards int //trustlint:derived execution-shape knob (SetShards); bit-identical results for any value
 	// active, when non-nil, marks which peers are present in the network
 	// (session Join/Leave/Whitewash waves). nil means everyone is present.
 	// Absent peers are never candidates, never serve, and their scheduled
@@ -229,14 +229,14 @@ type Engine struct {
 	// lazily (activeDirty) after membership changes; activeCount is
 	// maintained eagerly so ActivePeers stays O(1). All three are derived
 	// from active and are deliberately not serialized.
-	activeIDs   []int
-	activeDirty bool
-	activeCount int
+	activeIDs   []int //trustlint:derived index over active, rebuilt lazily after restore (activeDirty)
+	activeDirty bool  //trustlint:derived set by restore to force the activeIDs rebuild
+	activeCount int   //trustlint:derived recounted from active on restore
 	// pending buffers the reports the gatherer admits during a round; they
 	// flush to the mechanism in one batch at the end of the round (see
 	// flushReports). The buffer is always empty between rounds, so it is
 	// not part of EngineState.
-	pending []reputation.Report
+	pending []reputation.Report //trustlint:derived always empty between rounds, when snapshots are taken
 	// computeIters accumulates the iteration counts returned by every
 	// mechanism Compute the engine triggers (periodic recomputes and
 	// summary barriers) — the solver-cost ledger behind the facade's
@@ -244,14 +244,14 @@ type Engine struct {
 	computeIters int64
 	// clique is the current colluder id set, shared by every colluder
 	// behaviour so intervention-time class swaps keep the clique coherent.
-	clique map[int]bool
+	clique map[int]bool //trustlint:derived rebuilt from colluders, which come from the scenario's adversary classes
 	// roundObserver, when set, is invoked with each completed round's stats
 	// (the session layer's OnRound hook). It runs after the round's state is
 	// fully merged and must not mutate the engine.
-	roundObserver func(RoundStats)
+	roundObserver func(RoundStats) //trustlint:derived session-layer hook, re-attached by the owner after restore
 	// profileItem caches each user's ledger item name so the gather phase
 	// does not re-format it on every interaction.
-	profileItem []string
+	profileItem []string //trustlint:derived format cache, a pure function of the peer id
 	// servedCount/qualSum accumulate each provider's realized service
 	// incrementally (refusals as quality 0), so ground truth and the served
 	// set never require rescanning the interaction log.
