@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/trustnet"
+)
+
+// BenchmarkCluster measures one coupled epoch of the baseline scenario run
+// locally vs distributed over loopback worker processes, at each supported
+// topology. CI converts its output into BENCH_cluster.json; benchjson pairs
+// each topology=workers-K row with its topology=local sibling, so the
+// speedup entries quantify the serialization + coordination overhead the
+// transport adds on top of the (bit-identical) computation. Loopback keeps
+// the rows about the cluster engine itself rather than kernel TCP behavior;
+// the real-socket path is covered by TestTCPEquivalence and the CI
+// cluster-smoke job.
+func BenchmarkCluster(b *testing.B) {
+	for _, users := range []int{100, 1000} {
+		sc := trustnet.MustScenario("baseline")
+		sc.Peers = users
+		b.Run(fmt.Sprintf("users=%d/topology=local", users), func(b *testing.B) {
+			eng, err := sc.NewEngine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchEpochs(b, eng)
+		})
+		// workersK, not workers-K: go test's own -GOMAXPROCS suffix makes a
+		// trailing -<digits> in a sub-benchmark name ambiguous to parsers.
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("users=%d/topology=workers%d", users, workers), func(b *testing.B) {
+				benchClusterEpochs(b, sc, workers)
+			})
+		}
+	}
+}
+
+// benchClusterEpochs stands up a loopback master with n workers, then times
+// epochs exactly like the local case.
+func benchClusterEpochs(b *testing.B, sc trustnet.Scenario, n int) {
+	ln := cluster.NewLoopbackListener()
+	m, err := cluster.NewMaster(sc, cluster.MasterConfig{
+		Listener:       ln,
+		HeartbeatEvery: -1,
+		PhaseTimeout:   60 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Shutdown()
+	workerErr := make(chan error, n)
+	for i := 0; i < n; i++ {
+		conn, err := ln.Dial()
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func(i int, conn cluster.Conn) {
+			workerErr <- cluster.RunWorker(conn, fmt.Sprintf("bench-w%d", i))
+		}(i, conn)
+	}
+	if err := m.WaitForWorkers(n, 10*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	benchEpochs(b, m.Engine())
+	m.Shutdown()
+	for i := 0; i < n; i++ {
+		if err := <-workerErr; err != nil {
+			b.Logf("worker exit: %v", err)
+		}
+	}
+}
+
+func benchEpochs(b *testing.B, eng *trustnet.Engine) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

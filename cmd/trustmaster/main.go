@@ -1,0 +1,150 @@
+// Command trustmaster runs a scenario as the master of a multi-process
+// cluster: it listens for trustworker registrations, fans the parallel
+// epoch phases (interaction scatter, mechanism SpMV) out to them, and folds
+// the results in canonical order — so the run is bit-for-bit identical to a
+// single-process `trustsim -scenario` run of the same scenario, at any
+// worker count (including zero: with no workers it simply runs locally).
+//
+// Quickstart (one master, two workers):
+//
+//	trustmaster -scenario baseline -listen 127.0.0.1:9700 -workers 2 &
+//	trustworker -master 127.0.0.1:9700 -name w1 &
+//	trustworker -master 127.0.0.1:9700 -name w2 &
+//
+// SIGINT/SIGTERM stop the run cleanly after the in-flight epoch: the
+// history written so far is saved (-history) and every worker is told to
+// shut down (exit 0).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/trustnet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trustmaster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trustmaster", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		scenarioRef = fs.String("scenario", "baseline", "registered scenario name or JSON spec file")
+		listen      = fs.String("listen", "127.0.0.1:9700", "worker registration address")
+		workers     = fs.Int("workers", 0, "wait for this many workers before running (0 starts immediately)")
+		wait        = fs.Duration("wait", 60*time.Second, "how long to wait for -workers registrations")
+		epochs      = fs.Int("epochs", 0, "override the scenario's epoch budget")
+		shards      = fs.Int("shards", 0, "per-process scatter shards (0 = scenario default; never changes results)")
+		historyPath = fs.String("history", "", "write the epoch history to this file as JSON")
+		phaseTO     = fs.Duration("phase-timeout", 60*time.Second, "per-phase worker deadline before local fallback")
+		heartbeat   = fs.Duration("heartbeat", 5*time.Second, "idle liveness-ping period (negative disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := trustnet.LoadScenario(*scenarioRef)
+	if err != nil {
+		return err
+	}
+	if *epochs > 0 {
+		sc.Epochs = *epochs
+	}
+	if sc.Epochs <= 0 {
+		return fmt.Errorf("scenario %q has no epochs to run (set Epochs or -epochs)", sc.Name)
+	}
+	if sc.Shards == 0 && *shards > 0 {
+		sc.Shards = *shards
+	}
+	ln, err := cluster.ListenTCP(*listen)
+	if err != nil {
+		return err
+	}
+	m, err := cluster.NewMaster(sc, cluster.MasterConfig{
+		Listener:       ln,
+		PhaseTimeout:   *phaseTO,
+		HeartbeatEvery: *heartbeat,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer m.Shutdown()
+	fmt.Fprintf(w, "trustmaster: scenario %q, listening on %s\n", sc.Name, ln.Addr())
+	if *workers > 0 {
+		if err := m.WaitForWorkers(*workers, *wait); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trustmaster: %d workers registered\n", *workers)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	eng := m.Engine()
+	s, err := eng.Session(ctx, trustnet.WithMaxEpochs(sc.Epochs), trustnet.WithSchedule(sc.Schedule))
+	if err != nil {
+		return err
+	}
+	for _, err := range s.Epochs() {
+		if err != nil {
+			// A signal mid-run is a clean stop: keep the epochs completed so
+			// far, shut the cluster down, exit 0.
+			if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+				fmt.Fprintf(w, "trustmaster: interrupted, stopping cleanly\n")
+				break
+			}
+			return err
+		}
+	}
+	hist := eng.History()
+	if *historyPath != "" {
+		if err := writeHistory(hist, *historyPath); err != nil {
+			return err
+		}
+	}
+	scatters, spmvs := m.RemotePhases()
+	fmt.Fprintf(w, "trustmaster: %d epochs done; %d live workers; remote phases: scatter=%d spmv=%d\n",
+		len(hist), m.LiveWorkers(), scatters, spmvs)
+	if len(hist) > 0 {
+		last := hist[len(hist)-1]
+		fmt.Fprintf(w, "trustmaster: final trust %.4f, bad-rate %.4f\n", last.Trust, last.BadRate)
+	}
+	m.Shutdown()
+	return nil
+}
+
+// writeHistory serializes the epoch history to a file as JSON — the
+// artifact the cluster-smoke CI job diffs byte-for-byte against a trustsim
+// run. JSON, not gob: JSON floats use the shortest representation that
+// round-trips, so byte equality proves bit equality — while gob assigns
+// wire type ids from a process-global registry, making its bytes differ
+// between binaries that built other gob types first.
+func writeHistory(hist []trustnet.EpochStats, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(hist); err != nil {
+		f.Close()
+		return fmt.Errorf("history: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	return nil
+}

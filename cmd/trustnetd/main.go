@@ -76,16 +76,7 @@ func run(ctx context.Context, args []string, w io.Writer, ready func(baseURL str
 		return err
 	}
 	if *resume != "" {
-		f, err := os.Open(*resume)
-		if err != nil {
-			return fmt.Errorf("resume: %w", err)
-		}
-		snap, err := trustnet.DecodeSnapshot(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		if err := eng.Restore(snap); err != nil {
+		if err := eng.RestoreFromFile(*resume); err != nil {
 			return err
 		}
 	}

@@ -22,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -59,6 +60,7 @@ func run(args []string, w io.Writer) error {
 		shards     = fs.Int("shards", runtime.GOMAXPROCS(0), "parallel epoch shards (identical results for any count)")
 		checkpoint = fs.String("checkpoint", "", "write an engine snapshot to this file after the run")
 		resume     = fs.String("resume", "", "restore the engine from this snapshot before running (scenario flags must match the checkpointed run)")
+		history    = fs.String("history", "", "write the epoch history to this file as JSON (cluster-equivalence diffing)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file after the run (go tool pprof)")
 	)
@@ -71,7 +73,7 @@ func run(args []string, w io.Writer) error {
 	}
 	defer stopProfiles()
 	if *scenarioRef != "" {
-		return runScenario(*scenarioRef, *shards, *checkpoint, *resume, w)
+		return runScenario(*scenarioRef, *shards, *checkpoint, *resume, *history, w)
 	}
 	if *malicious+*selfish > 1 {
 		return fmt.Errorf("malicious + selfish fractions exceed 1")
@@ -128,7 +130,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if *resume != "" {
-		if err := restoreEngine(eng, *resume); err != nil {
+		if err := eng.RestoreFromFile(*resume); err != nil {
 			return err
 		}
 	}
@@ -138,6 +140,11 @@ func run(args []string, w io.Writer) error {
 	}
 	if *checkpoint != "" {
 		if err := checkpointEngine(eng, *checkpoint); err != nil {
+			return err
+		}
+	}
+	if *history != "" {
+		if err := writeHistory(eng.History(), *history); err != nil {
 			return err
 		}
 	}
@@ -208,7 +215,7 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 // schedule entries keyed by absolute epoch index so the remaining ones
 // still fire), which is how a trustnetd /v1/snapshot download is continued
 // offline.
-func runScenario(ref string, shards int, checkpoint, resume string, w io.Writer) error {
+func runScenario(ref string, shards int, checkpoint, resume, history string, w io.Writer) error {
 	sc, err := trustnet.LoadScenario(ref)
 	if err != nil {
 		return err
@@ -224,7 +231,7 @@ func runScenario(ref string, shards int, checkpoint, resume string, w io.Writer)
 		return err
 	}
 	if resume != "" {
-		if err := restoreEngine(eng, resume); err != nil {
+		if err := eng.RestoreFromFile(resume); err != nil {
 			return err
 		}
 	}
@@ -241,6 +248,11 @@ func runScenario(ref string, shards int, checkpoint, resume string, w io.Writer)
 	hist := eng.History()[prior:]
 	if checkpoint != "" {
 		if err := checkpointEngine(eng, checkpoint); err != nil {
+			return err
+		}
+	}
+	if history != "" {
+		if err := writeHistory(eng.History(), history); err != nil {
 			return err
 		}
 	}
@@ -285,15 +297,26 @@ func checkpointEngine(eng *trustnet.Engine, path string) error {
 	return nil
 }
 
-func restoreEngine(eng *trustnet.Engine, path string) error {
-	f, err := os.Open(path)
+// writeHistory serializes the epoch history to a file as JSON — the
+// artifact the cluster-smoke CI job diffs byte-for-byte between
+// single-process and master/worker runs of the same scenario. JSON, not
+// gob: JSON floats use the shortest representation that round-trips, so
+// byte equality proves bit equality — while gob assigns wire type ids from
+// a process-global registry, so two binaries that built other gob types
+// first emit different bytes for identical values.
+func writeHistory(hist []trustnet.EpochStats, path string) error {
+	f, err := os.Create(path)
 	if err != nil {
-		return fmt.Errorf("resume: %w", err)
+		return fmt.Errorf("history: %w", err)
 	}
-	defer f.Close()
-	snap, err := trustnet.DecodeSnapshot(f)
-	if err != nil {
-		return err
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(hist); err != nil {
+		f.Close()
+		return fmt.Errorf("history: %w", err)
 	}
-	return eng.Restore(snap)
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	return nil
 }

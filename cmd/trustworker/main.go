@@ -1,0 +1,75 @@
+// Command trustworker is one worker process of a trustmaster cluster: it
+// registers with the master, builds an engine replica from the scenario the
+// master streams back, and serves scatter/SpMV phase requests until the
+// master shuts the cluster down (clean exit) or the connection drops.
+//
+//	trustworker -master 127.0.0.1:9700 -name w1
+//
+// SIGINT/SIGTERM exit cleanly; the master notices over its next heartbeat
+// or phase deadline and recomputes this worker's share locally, so killing
+// a worker never changes the run's results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trustworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trustworker", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		master  = fs.String("master", "127.0.0.1:9700", "trustmaster registration address")
+		name    = fs.String("name", "", "unique worker name (default host-pid)")
+		timeout = fs.Duration("dial-timeout", 10*time.Second, "master connection timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	conn, err := cluster.DialTCP(*master, *timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trustworker: %q serving %s\n", *name, *master)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- cluster.RunWorker(conn, *name) }()
+	select {
+	case <-sig:
+		// Deliberate local stop: tear the connection down (the master falls
+		// back to local computation) and exit cleanly.
+		conn.Close()
+		<-done
+		fmt.Fprintf(w, "trustworker: %q interrupted, exiting\n", *name)
+		return nil
+	case err := <-done:
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trustworker: %q released by master, exiting\n", *name)
+		return nil
+	}
+}

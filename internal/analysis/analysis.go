@@ -87,9 +87,13 @@ func NewInfo() *types.Info {
 // to be bit-identical across shard counts, snapshot/restore boundaries and
 // the served-vs-batch twin. A path matches if it equals a prefix or sits
 // below one (so mechanism subpackages like repro/internal/reputation/\
-// eigentrust are covered). Everything else — cmd/, tools/, internal/serve,
-// the overlay/dht/crypto simulation scaffolding — is off the deterministic
-// path and exempt.
+// eigentrust are covered). Everything else — cmd/ (including trustmaster
+// and trustworker), tools/, internal/serve, internal/cluster, the
+// overlay/dht/crypto simulation scaffolding — is off the deterministic path
+// and exempt. internal/cluster is exempt by design, not oversight: its job
+// is wall-clock plumbing (deadlines, heartbeats, reconnects), and its
+// determinism is enforced end-to-end by the golden topology tests instead
+// of the lint allowlist.
 var deterministicPrefixes = []string{
 	"repro/internal/core",
 	"repro/internal/workload",

@@ -20,7 +20,10 @@ func TestIsDeterministic(t *testing.T) {
 		// share a name prefix.
 		{"repro/internal/corelike", false},
 		{"repro/internal/serve", false},
+		{"repro/internal/cluster", false},
 		{"repro/cmd/trustnetd", false},
+		{"repro/cmd/trustmaster", false},
+		{"repro/cmd/trustworker", false},
 		{"repro/tools/benchjson", false},
 		{"repro/tools/benchdiff", false},
 		{"fmt", false},

@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/trustnet"
+)
+
+// runLocal runs the scenario's session single-process and returns its epoch
+// history — the reference every cluster topology must match bit-for-bit.
+func runLocal(t *testing.T, sc trustnet.Scenario) []trustnet.EpochStats {
+	t.Helper()
+	eng, err := sc.NewEngine()
+	if err != nil {
+		t.Fatalf("local engine: %v", err)
+	}
+	runSession(t, eng, sc)
+	return eng.History()
+}
+
+func runSession(t *testing.T, eng *trustnet.Engine, sc trustnet.Scenario) {
+	t.Helper()
+	s, err := eng.Session(context.Background(), trustnet.WithMaxEpochs(sc.Epochs), trustnet.WithSchedule(sc.Schedule))
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	for _, err := range s.Epochs() {
+		if err != nil {
+			t.Fatalf("epoch: %v", err)
+		}
+	}
+}
+
+// startWorkers dials n loopback workers against ln and runs each in a
+// goroutine. The returned wait func joins them (checking clean exits); the
+// conns let tests kill individual workers.
+func startWorkers(t *testing.T, ln *LoopbackListener, n int) (conns []Conn, wait func()) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		conn, err := ln.Dial()
+		if err != nil {
+			t.Fatalf("dial worker %d: %v", i, err)
+		}
+		conns = append(conns, conn)
+		wg.Add(1)
+		go func(i int, conn Conn) {
+			defer wg.Done()
+			errs[i] = RunWorker(conn, fmt.Sprintf("w%d", i))
+		}(i, conn)
+	}
+	return conns, func() {
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Logf("worker %d exit: %v", i, err)
+			}
+		}
+	}
+}
+
+// runCluster runs the scenario under a loopback master with n workers and
+// returns the history plus the master (already shut down).
+func runCluster(t *testing.T, sc trustnet.Scenario, n int) ([]trustnet.EpochStats, *Master) {
+	t.Helper()
+	ln := NewLoopbackListener()
+	m, err := NewMaster(sc, MasterConfig{Listener: ln, HeartbeatEvery: -1, PhaseTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	defer m.Shutdown()
+	_, wait := startWorkers(t, ln, n)
+	if err := m.WaitForWorkers(n, 5*time.Second); err != nil {
+		t.Fatalf("wait workers: %v", err)
+	}
+	runSession(t, m.Engine(), sc)
+	hist := m.Engine().History()
+	m.Shutdown()
+	wait()
+	return hist, m
+}
+
+func gobBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatalf("gob: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTopologies is the subsystem's core invariant: equal seeds give
+// bit-identical epoch histories for local execution and 1-, 2- and 4-worker
+// loopback clusters, on a schedule-bearing scenario (leave, whitewash and
+// join waves force mid-run replica resyncs).
+func TestGoldenTopologies(t *testing.T) {
+	sc := trustnet.MustScenario("churnstorm")
+	sc.Epochs = 10
+	want := gobBytes(t, runLocal(t, sc))
+	for _, workers := range []int{1, 2, 4} {
+		hist, m := runCluster(t, sc, workers)
+		if got := gobBytes(t, hist); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: cluster history diverged from local run", workers)
+		}
+		scatters, spmvs := m.RemotePhases()
+		if scatters == 0 {
+			t.Errorf("workers=%d: no scatter chunks ran remotely", workers)
+		}
+		if spmvs == 0 {
+			t.Errorf("workers=%d: no SpMV ranges ran remotely", workers)
+		}
+	}
+}
+
+// TestGoldenPowerTrust covers the second delegating mechanism end to end.
+func TestGoldenPowerTrust(t *testing.T) {
+	sc := trustnet.MustScenario("baseline")
+	sc.Mechanism = trustnet.MechanismSpec{Kind: "powertrust"}
+	sc.Epochs = 6
+	want := gobBytes(t, runLocal(t, sc))
+	hist, m := runCluster(t, sc, 2)
+	if got := gobBytes(t, hist); !bytes.Equal(got, want) {
+		t.Errorf("powertrust cluster history diverged from local run")
+	}
+	if scatters, spmvs := m.RemotePhases(); scatters == 0 || spmvs == 0 {
+		t.Errorf("powertrust: remote phases = (%d, %d), want both > 0", scatters, spmvs)
+	}
+}
+
+// TestWorkerDeathMidRun kills one of two workers partway through the run;
+// the master must fall back to computing the dead worker's chunks locally
+// and the result must stay bit-identical.
+func TestWorkerDeathMidRun(t *testing.T) {
+	sc := trustnet.MustScenario("baseline")
+	sc.Epochs = 8
+	want := gobBytes(t, runLocal(t, sc))
+
+	ln := NewLoopbackListener()
+	m, err := NewMaster(sc, MasterConfig{Listener: ln, HeartbeatEvery: -1, PhaseTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	defer m.Shutdown()
+	conns, wait := startWorkers(t, ln, 2)
+	if err := m.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatalf("wait workers: %v", err)
+	}
+	s, err := m.Engine().Session(context.Background(), trustnet.WithMaxEpochs(sc.Epochs), trustnet.WithSchedule(sc.Schedule))
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	epoch := 0
+	for _, err := range s.Epochs() {
+		if err != nil {
+			t.Fatalf("epoch: %v", err)
+		}
+		epoch++
+		if epoch == 3 {
+			// Kill a worker between epochs; its next assigned chunk fails
+			// mid-phase and is recomputed locally.
+			conns[0].Close()
+		}
+	}
+	hist := m.Engine().History()
+	m.Shutdown()
+	wait()
+	if got := gobBytes(t, hist); !bytes.Equal(got, want) {
+		t.Errorf("history diverged after mid-run worker death")
+	}
+	if m.LiveWorkers() != 0 {
+		t.Errorf("LiveWorkers after shutdown = %d, want 0", m.LiveWorkers())
+	}
+}
+
+// TestRejoinAfterDeath replaces a dead worker mid-run with a fresh one; the
+// newcomer is adopted at the next phase with a full snapshot sync and the
+// run stays bit-identical.
+func TestRejoinAfterDeath(t *testing.T) {
+	sc := trustnet.MustScenario("baseline")
+	sc.Epochs = 8
+	want := gobBytes(t, runLocal(t, sc))
+
+	ln := NewLoopbackListener()
+	m, err := NewMaster(sc, MasterConfig{Listener: ln, HeartbeatEvery: -1, PhaseTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	defer m.Shutdown()
+	conns, wait := startWorkers(t, ln, 2)
+	if err := m.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatalf("wait workers: %v", err)
+	}
+	var lateWait func()
+	s, err := m.Engine().Session(context.Background(), trustnet.WithMaxEpochs(sc.Epochs), trustnet.WithSchedule(sc.Schedule))
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	epoch := 0
+	for _, err := range s.Epochs() {
+		if err != nil {
+			t.Fatalf("epoch: %v", err)
+		}
+		epoch++
+		if epoch == 2 {
+			conns[0].Close()
+		}
+		if epoch == 4 {
+			_, lateWait = startWorkers(t, ln, 1) // name "w0" is free again: its owner is dead
+			if err := m.WaitForWorkers(2, 5*time.Second); err != nil {
+				t.Fatalf("rejoin: %v", err)
+			}
+		}
+	}
+	hist := m.Engine().History()
+	m.Shutdown()
+	wait()
+	if lateWait != nil {
+		lateWait()
+	}
+	if got := gobBytes(t, hist); !bytes.Equal(got, want) {
+		t.Errorf("history diverged across death + rejoin")
+	}
+}
+
+// TestDuplicateRegistrationRejected: a second worker under a live name is
+// turned away with an error message, and the run is unaffected.
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	sc := trustnet.MustScenario("baseline")
+	sc.Epochs = 1
+	ln := NewLoopbackListener()
+	m, err := NewMaster(sc, MasterConfig{Listener: ln, HeartbeatEvery: -1, PhaseTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	defer m.Shutdown()
+	conn1, err := ln.Dial()
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	done1 := make(chan error, 1)
+	go func() { done1 <- RunWorker(conn1, "dup") }()
+	if err := m.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	conn2, err := ln.Dial()
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	err = RunWorker(conn2, "dup")
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate registration error = %v, want 'already registered'", err)
+	}
+	if n := m.LiveWorkers(); n != 1 {
+		t.Errorf("LiveWorkers = %d, want 1", n)
+	}
+	m.Shutdown()
+	if err := <-done1; err != nil {
+		t.Errorf("first worker exit: %v", err)
+	}
+}
+
+// TestTCPEquivalence runs the same scenario over real TCP sockets and over
+// loopback; both must match the local run bit-for-bit (the transports carry
+// identical frames, so this pins the framing layer too).
+func TestTCPEquivalence(t *testing.T) {
+	sc := trustnet.MustScenario("baseline")
+	sc.Epochs = 5
+	want := gobBytes(t, runLocal(t, sc))
+
+	lhist, _ := runCluster(t, sc, 2)
+	if got := gobBytes(t, lhist); !bytes.Equal(got, want) {
+		t.Fatalf("loopback history diverged from local run")
+	}
+
+	ln, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	m, err := NewMaster(sc, MasterConfig{Listener: ln, HeartbeatEvery: -1, PhaseTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	defer m.Shutdown()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		conn, err := DialTCP(ln.Addr(), 5*time.Second)
+		if err != nil {
+			t.Fatalf("dial tcp: %v", err)
+		}
+		wg.Add(1)
+		go func(i int, conn Conn) {
+			defer wg.Done()
+			errs[i] = RunWorker(conn, fmt.Sprintf("tcp%d", i))
+		}(i, conn)
+	}
+	if err := m.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatalf("wait workers: %v", err)
+	}
+	runSession(t, m.Engine(), sc)
+	hist := m.Engine().History()
+	m.Shutdown()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("tcp worker %d exit: %v", i, err)
+		}
+	}
+	if got := gobBytes(t, hist); !bytes.Equal(got, want) {
+		t.Errorf("TCP history diverged from local run")
+	}
+}
+
+// TestNoWorkersDegradesLocally: a master with no registered workers runs
+// the scenario entirely locally through the delegates' decline path.
+func TestNoWorkersDegradesLocally(t *testing.T) {
+	sc := trustnet.MustScenario("baseline")
+	sc.Epochs = 3
+	want := gobBytes(t, runLocal(t, sc))
+	ln := NewLoopbackListener()
+	m, err := NewMaster(sc, MasterConfig{Listener: ln, HeartbeatEvery: -1})
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	defer m.Shutdown()
+	runSession(t, m.Engine(), sc)
+	if got := gobBytes(t, m.Engine().History()); !bytes.Equal(got, want) {
+		t.Errorf("workerless master diverged from plain local run")
+	}
+	if scatters, spmvs := m.RemotePhases(); scatters != 0 || spmvs != 0 {
+		t.Errorf("workerless master reported remote phases (%d, %d)", scatters, spmvs)
+	}
+}

@@ -14,6 +14,14 @@ const (
 	spmvMaxBlocks = 32
 )
 
+// BlockCount returns the canonical scatter block count for an n-row matrix —
+// the decomposition the cluster layer fans out to worker processes. It is a
+// function of n ONLY (never of worker or process count), which is what makes
+// a distributed SpMV bit-identical to the local one: each block's partial is
+// produced by the same serial accumulation wherever it runs, and FoldBlocks
+// folds them in the same canonical order MulTranspose does.
+func BlockCount(n int) int { return blockCount(n) }
+
 // blockCount returns the canonical scatter block count for an n-row matrix.
 func blockCount(n int) int {
 	b := (n + spmvBlockRows - 1) / spmvBlockRows
@@ -98,6 +106,59 @@ func (c *CSR) MulTranspose(y, x, dangle []float64, workers int, ws *Workspace) {
 		sim.ForChunks(workers, n, func(lo, hi int) {
 			fold(ws, y, dangle, mass, blocks, lo, hi)
 		})
+	}
+}
+
+// ScatterBlocks computes the partial vectors and dangling masses of the
+// canonical scatter blocks [lob, hib) for y = Aᵀx: partials[k] is block
+// lob+k's length-n partial, masses[k] its dangling x mass. It runs exactly
+// the serial per-block accumulation MulTranspose's scatter phase runs, so a
+// partial computed here — in another process, say — is bit-for-bit the one
+// the local kernel would have produced. Pair with FoldBlocks on the full
+// block set to finish the product.
+func (c *CSR) ScatterBlocks(x []float64, lob, hib int) (partials [][]float64, masses []float64) {
+	n := c.n
+	if n == 0 || lob >= hib {
+		return nil, nil
+	}
+	blocks := blockCount(n)
+	if hib > blocks {
+		hib = blocks
+	}
+	var ws Workspace
+	ws.ensure(blocks, n)
+	rowsPer := (n + blocks - 1) / blocks
+	c.scatter(&ws, x, rowsPer, lob, hib)
+	partials = make([][]float64, hib-lob)
+	for b := lob; b < hib; b++ {
+		partials[b-lob] = ws.partial[b][:n]
+	}
+	return partials, ws.mass[lob:hib]
+}
+
+// FoldBlocks completes y = Aᵀx + mass·dangle from a full set of per-block
+// partials (partials[b] for block b, ascending; masses likewise). The fold
+// runs the same arithmetic in the same order as MulTranspose's fold phase —
+// masses summed in ascending block order, each output index summing its
+// partials in ascending block order before the rank-one dangling correction
+// — so a product assembled from remotely computed blocks is bit-identical
+// to the local one. dangle == nil applies no correction.
+func FoldBlocks(y, dangle []float64, partials [][]float64, masses []float64) {
+	mass := 0.0
+	for _, m := range masses {
+		mass += m
+	}
+	blocks := len(partials)
+	for j := range y {
+		s := 0.0
+		for b := 0; b < blocks; b++ {
+			s += partials[b][j]
+		}
+		if dangle == nil {
+			y[j] = s
+		} else {
+			y[j] = s + mass*dangle[j]
+		}
 	}
 }
 

@@ -81,6 +81,9 @@ type Mechanism struct {
 	// Max-normalized score cache backing ScoresView.
 	norm    []float64 //trustlint:derived cache, recomputed from scores by refreshNorm on restore
 	normMax float64   //trustlint:derived cache, recomputed from scores by refreshNorm on restore
+	// spmv, when set, computes the power iteration's inner product remotely
+	// (the cluster layer); nil or a false return runs the local kernel.
+	spmv reputation.SpMVDelegate //trustlint:derived cluster-layer hook, re-attached by the owner after restore; bit-exact by contract
 	// Diagnostics of the most recent Compute that ran iterations.
 	lastConv reputation.Convergence
 	hasConv  bool
@@ -127,6 +130,30 @@ func (m *Mechanism) SetComputeShards(k int) {
 }
 
 var _ reputation.ComputeSharder = (*Mechanism)(nil)
+
+// SetSpMVDelegate implements reputation.SpMVDelegator: Compute's inner
+// product routes through fn (nil restores the local kernel). The delegate is
+// bit-exact by contract, so delegated and local computes produce identical
+// scores.
+func (m *Mechanism) SetSpMVDelegate(fn reputation.SpMVDelegate) { m.spmv = fn }
+
+// SpMVBlocks implements reputation.BlockScatterer.
+func (m *Mechanism) SpMVBlocks() int { return linalg.BlockCount(m.cfg.N) }
+
+// SpMVScatterBlocks implements reputation.BlockScatterer: it rematerializes
+// any dirty rows, then computes the canonical block partials for
+// y = Cᵀx. Because row materialization is a pure function of the current
+// local trust, a replica that folded the same reports returns bit-identical
+// partials.
+func (m *Mechanism) SpMVScatterBlocks(x []float64, lob, hib int) ([][]float64, []float64) {
+	m.refreshMatrix()
+	return m.csr.ScatterBlocks(x, lob, hib)
+}
+
+var (
+	_ reputation.SpMVDelegator  = (*Mechanism)(nil)
+	_ reputation.BlockScatterer = (*Mechanism)(nil)
+)
 
 // Name implements reputation.Mechanism.
 func (*Mechanism) Name() string { return "eigentrust" }
@@ -254,7 +281,9 @@ func (m *Mechanism) Compute() int {
 	iters := 0
 	residual := 0.0
 	for ; iters < m.cfg.MaxIter; iters++ {
-		m.csr.MulTranspose(next, t, m.pretrust, m.workers, &m.ws)
+		if m.spmv == nil || !m.spmv(next, t, m.pretrust) {
+			m.csr.MulTranspose(next, t, m.pretrust, m.workers, &m.ws)
+		}
 		diff := 0.0
 		for j := 0; j < n; j++ {
 			next[j] = (1-m.cfg.Alpha)*next[j] + m.cfg.Alpha*m.pretrust[j]

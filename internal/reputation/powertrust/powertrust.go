@@ -105,6 +105,8 @@ type Mechanism struct {
 	// Diagnostics of the most recent Compute that ran rounds.
 	lastConv reputation.Convergence
 	hasConv  bool
+
+	spmv reputation.SpMVDelegate //trustlint:derived cluster-layer hook, re-attached by the owner after restore; bit-exact by contract
 }
 
 var _ reputation.Mechanism = (*Mechanism)(nil)
@@ -168,6 +170,26 @@ func (m *Mechanism) SetComputeShards(k int) {
 }
 
 var _ reputation.ComputeSharder = (*Mechanism)(nil)
+
+// SetSpMVDelegate implements reputation.SpMVDelegator: route the walk's
+// inner SpMV through fn (nil restores the local kernel). The delegate must
+// be bit-exact per the reputation.SpMVDelegate contract.
+func (m *Mechanism) SetSpMVDelegate(fn reputation.SpMVDelegate) { m.spmv = fn }
+
+// SpMVBlocks implements reputation.BlockScatterer.
+func (m *Mechanism) SpMVBlocks() int { return linalg.BlockCount(m.cfg.N) }
+
+// SpMVScatterBlocks implements reputation.BlockScatterer: refresh any dirty
+// CSR rows, then scatter blocks [lob, hib) of Rᵀx.
+func (m *Mechanism) SpMVScatterBlocks(x []float64, lob, hib int) ([][]float64, []float64) {
+	m.refreshMatrix()
+	return m.csr.ScatterBlocks(x, lob, hib)
+}
+
+var (
+	_ reputation.SpMVDelegator  = (*Mechanism)(nil)
+	_ reputation.BlockScatterer = (*Mechanism)(nil)
+)
 
 // Name implements reputation.Mechanism.
 func (m *Mechanism) Name() string {
@@ -389,7 +411,9 @@ func (m *Mechanism) refreshMatrix() {
 // step applies one walk operator application dst = (1−α)·(Rᵀsrc + mᵀ·u) + α·jump,
 // with the dangling mass mᵀ jumping uniformly (u = 1/n).
 func (m *Mechanism) step(dst, src []float64) {
-	m.csr.MulTranspose(dst, src, m.uniform, m.workers, &m.ws)
+	if m.spmv == nil || !m.spmv(dst, src, m.uniform) {
+		m.csr.MulTranspose(dst, src, m.uniform, m.workers, &m.ws)
+	}
 	for j := range dst {
 		dst[j] = (1-m.cfg.Alpha)*dst[j] + m.cfg.Alpha*m.jump[j]
 	}

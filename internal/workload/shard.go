@@ -74,12 +74,24 @@ func (e *Engine) planRound(pool []int) []interactionPlan {
 }
 
 // scatter simulates every planned interaction, fanning the index range out
-// over the engine's shards.
-func (e *Engine) scatter(plans []interactionPlan, scores []float64, gate float64, pool []int) []interactionResult {
+// over the engine's shards — or, when a scatter delegate is installed and
+// accepts, handing the whole phase to the external executor (the cluster
+// master). The delegate contract (see cluster.go) makes the two paths
+// bit-identical.
+func (e *Engine) scatter(plans []interactionPlan, scores []float64, gate float64, pool []int, round int) []interactionResult {
+	if e.scatterDelegate != nil {
+		if out, ok := e.scatterDelegate(exportPlans(plans), scores, gate, pool, round); ok && len(out) == len(plans) {
+			results := make([]interactionResult, len(out))
+			for k := range out {
+				results[k] = importOutcome(&out[k])
+			}
+			return results
+		}
+	}
 	results := make([]interactionResult, len(plans))
 	sim.ForChunks(e.shards, len(plans), func(lo, hi int) {
 		for k := lo; k < hi; k++ {
-			results[k] = e.simulate(&plans[k], scores, gate, pool)
+			results[k] = e.simulate(&plans[k], scores, gate, pool, round)
 		}
 	})
 	return results
@@ -87,8 +99,10 @@ func (e *Engine) scatter(plans []interactionPlan, scores []float64, gate float64
 
 // simulate runs one interaction against round-immutable state. It must not
 // touch any state shared across interactions: all randomness comes from the
-// plan's private stream, and every mutation is deferred to gather.
-func (e *Engine) simulate(p *interactionPlan, scores []float64, gate float64, pool []int) interactionResult {
+// plan's private stream, and every mutation is deferred to gather. The round
+// index is passed explicitly (rather than read off the engine) so a worker
+// replica can simulate the master's round without advancing its own clock.
+func (e *Engine) simulate(p *interactionPlan, scores []float64, gate float64, pool []int, round int) interactionResult {
 	rng := &p.rng
 	r := interactionResult{consumer: p.consumer, provider: -1}
 	if !e.PeerActive(p.consumer) {
@@ -127,7 +141,7 @@ func (e *Engine) simulate(p *interactionPlan, scores []float64, gate float64, po
 		r.honest = true
 		return r
 	}
-	r.quality = pu.Behavior.ServiceQuality(rng, e.round)
+	r.quality = pu.Behavior.ServiceQuality(rng, round)
 	r.rating, r.honest = e.rate(rng, e.snet.User(p.consumer), p.consumer, provider, r.quality)
 	return r
 }

@@ -189,5 +189,8 @@ func (e *Engine) Restore(st EngineState) error {
 	copy(e.qualSum, st.QualSum)
 	e.cfg.TrustGate = st.TrustGate
 	e.ledgerScale = st.LedgerScale
+	// A restore rewrites every piece of simulate-visible state, so any
+	// cluster replica synced against the pre-restore engine is stale.
+	e.mutationGen++
 	return nil
 }

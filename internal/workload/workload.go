@@ -249,6 +249,15 @@ type Engine struct {
 	// (the session layer's OnRound hook). It runs after the round's state is
 	// fully merged and must not mutate the engine.
 	roundObserver func(RoundStats) //trustlint:derived session-layer hook, re-attached by the owner after restore
+	// scatterDelegate, when set, may execute the scatter phase externally
+	// (the cluster master); see cluster.go for the bit-exactness contract.
+	scatterDelegate ScatterDelegate //trustlint:derived cluster-layer hook, re-attached by the owner after restore; bit-exact by contract
+	// reportObserver, when set, sees every report batch delivered to the
+	// mechanism — the cluster master's replica-mirroring hook.
+	reportObserver func([]reputation.Report) //trustlint:derived cluster-layer hook, re-attached by the owner after restore; pure observation
+	// mutationGen counts out-of-round mutations of simulate-visible state;
+	// see MutationGen in cluster.go.
+	mutationGen uint64 //trustlint:derived replica-sync cursor, compared only against itself within one master process
 	// profileItem caches each user's ledger item name so the gather phase
 	// does not re-format it on every interaction.
 	profileItem []string //trustlint:derived format cache, a pure function of the peer id
@@ -369,6 +378,7 @@ func (e *Engine) SetDisclosure(d []float64) {
 // SetHonestOverride installs per-peer truthful-report probabilities,
 // overriding behaviour-class honesty (nil restores class behaviour).
 func (e *Engine) SetHonestOverride(h []float64) {
+	e.mutationGen++
 	if h == nil {
 		e.honestOverride = nil
 		return
@@ -447,7 +457,7 @@ func (e *Engine) Round() RoundStats {
 	// reads it from every shard concurrently.
 	pool := e.activePool()
 	plans := e.planRound(pool)
-	results := e.scatter(plans, scores, gate, pool)
+	results := e.scatter(plans, scores, gate, pool, e.round)
 	e.gather(results, &st)
 	// Malicious collective: each colluder fabricates one satisfied
 	// transaction about another clique member per round. Absent colluders
@@ -524,8 +534,12 @@ func (e *Engine) flushReports() {
 				e.gatherer.Commit(r.Rater)
 				e.recordFeedbackDisclosure(r.Rater, r.TxID)
 			}
+			if e.reportObserver != nil {
+				e.reportObserver(e.pending)
+			}
 		}
 	} else {
+		var delivered []reputation.Report
 		for i := range e.pending {
 			r := &e.pending[i]
 			if e.mech.Submit(*r) != nil {
@@ -533,6 +547,12 @@ func (e *Engine) flushReports() {
 			}
 			e.gatherer.Commit(r.Rater)
 			e.recordFeedbackDisclosure(r.Rater, r.TxID)
+			if e.reportObserver != nil {
+				delivered = append(delivered, *r)
+			}
+		}
+		if len(delivered) > 0 {
+			e.reportObserver(delivered)
 		}
 	}
 	e.pending = e.pending[:0]
@@ -658,6 +678,9 @@ func (e *Engine) SubmitExternalReport(rater, ratee int, value float64) error {
 	// Same accounting as a gathered in-simulation report: sharing feedback
 	// discloses the rater's behavioural data to the mechanism.
 	e.recordFeedbackDisclosure(rater, tx)
+	if e.reportObserver != nil {
+		e.reportObserver([]reputation.Report{{TxID: tx, Rater: rater, Ratee: ratee, Value: value}})
+	}
 	return nil
 }
 
@@ -807,6 +830,7 @@ func (e *Engine) SetPeerActive(peer int, on bool) error {
 			e.activeCount--
 		}
 		e.activeDirty = true
+		e.mutationGen++
 	}
 	return nil
 }
@@ -900,6 +924,7 @@ func (e *Engine) SetBehaviorClass(peer int, class adversary.Class) error {
 			return fmt.Errorf("workload: %w", err)
 		}
 	}
+	e.mutationGen++
 	if class == adversary.Colluder {
 		e.clique[peer] = true
 	} else if wasColluder {

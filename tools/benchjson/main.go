@@ -2,7 +2,8 @@
 // document on stdout. CI uses it to turn the sharded-epoch benchmark into
 // BENCH_epoch.json, the sweep benchmark into BENCH_sweep.json, the
 // mechanism-kernel benchmark (users × density × kernel × workers axes) into
-// BENCH_mechanisms.json, and the serving benchmark into BENCH_serving.json —
+// BENCH_mechanisms.json, the serving benchmark into BENCH_serving.json, and
+// the cluster benchmark (users × topology axes) into BENCH_cluster.json —
 // the artifacts that track the perf trajectory across PRs.
 //
 // Custom benchmark metrics (b.ReportMetric: qps, p50-ns, p99-ns,
@@ -34,6 +35,12 @@ var shardCase = regexp.MustCompile(`users=(\d+)/shards=(\d+)`)
 // parallelism knob); the prefix before it keys the speedup entry.
 var workerCase = regexp.MustCompile(`^(.+?)/workers=(\d+)$`)
 
+// topologyCase matches the cluster benchmark's remote-worker rows; each
+// pairs with the topology=local sibling of the same case. (workersK, not
+// workers-K: a trailing -<digits> would collide with the -GOMAXPROCS
+// suffix stripping.)
+var topologyCase = regexp.MustCompile(`topology=workers\d+`)
+
 type result struct {
 	Iterations int     `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
@@ -54,6 +61,12 @@ type output struct {
 	// kernel=sparse vs kernel=dense additionally get a
 	// "kernel=sparse-vs-dense" entry: ns/op(dense) / ns/op(sparse), the
 	// dense-baseline speedup of the CSR kernel.
+	//
+	// For the cluster bench, rows whose name differs only in
+	// topology=workersK vs topology=local get a
+	// "topology=local-vs-workersK" entry: ns/op(local) / ns/op(cluster).
+	// Values below 1 quantify the transport overhead of distributing the
+	// same bit-identical epoch across K worker processes.
 	Speedup map[string]float64 `json:"speedup,omitempty"`
 }
 
@@ -156,6 +169,23 @@ func process(r io.Reader, w io.Writer) error {
 			out.Speedup = map[string]float64{}
 		}
 		out.Speedup[strings.Replace(name, "kernel=sparse", "kernel=sparse-vs-dense", 1)] = dense.NsPerOp / sparse.NsPerOp
+	}
+	// Topology axis: pair each topology=workers-K row with its
+	// topology=local sibling and report local/cluster.
+	for name, clustered := range out.Benchmarks {
+		tok := topologyCase.FindString(name)
+		if tok == "" {
+			continue
+		}
+		local, ok := out.Benchmarks[strings.Replace(name, tok, "topology=local", 1)]
+		if !ok || clustered.NsPerOp == 0 {
+			continue
+		}
+		if out.Speedup == nil {
+			out.Speedup = map[string]float64{}
+		}
+		key := strings.Replace(name, tok, "topology=local-vs-"+strings.TrimPrefix(tok, "topology="), 1)
+		out.Speedup[key] = local.NsPerOp / clustered.NsPerOp
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

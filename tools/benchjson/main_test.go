@@ -7,8 +7,9 @@ import (
 )
 
 // benchOutput is a condensed real `go test -bench` transcript covering the
-// three row shapes benchjson understands: the shards axis (epoch bench),
-// the workers axis (sweep bench), and custom metrics (serving bench).
+// row shapes benchjson understands: the shards axis (epoch bench), the
+// workers axis (sweep bench), custom metrics (serving bench), and the
+// topology axis (cluster bench).
 const benchOutput = `goos: linux
 goarch: amd64
 pkg: repro
@@ -18,6 +19,8 @@ BenchmarkShardedEpoch/users=1000/shards=4-8         	      40	  25000000 ns/op
 BenchmarkServing/users=200/shards=1-8               	    6862	     99410 ns/op	    198732 p50-ns	  13690565 p99-ns	     10071 qps
 BenchmarkSweep/grid=5x5/workers=1-8                 	       5	 200000000 ns/op
 BenchmarkSweep/grid=5x5/workers=4-8                 	      20	  50000000 ns/op
+BenchmarkCluster/users=100/topology=local-8         	      30	  40000000 ns/op
+BenchmarkCluster/users=100/topology=workers2        	      24	  50000000 ns/op
 PASS
 ok  	repro	2.482s
 `
@@ -38,8 +41,8 @@ func TestProcess(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Benchmarks) != 5 {
-		t.Fatalf("parsed %d rows, want 5", len(out.Benchmarks))
+	if len(out.Benchmarks) != 7 {
+		t.Fatalf("parsed %d rows, want 7", len(out.Benchmarks))
 	}
 
 	epoch := out.Benchmarks["ShardedEpoch/users=1000/shards=4"]
@@ -51,6 +54,9 @@ func TestProcess(t *testing.T) {
 	}
 	if got := out.Speedup["Sweep/grid=5x5/workers=4"]; got != 4 {
 		t.Fatalf("worker speedup = %v, want 4", got)
+	}
+	if got := out.Speedup["Cluster/users=100/topology=local-vs-workers2"]; got != 0.8 {
+		t.Fatalf("topology speedup = %v, want 0.8", got)
 	}
 
 	serving := out.Benchmarks["Serving/users=200/shards=1"]

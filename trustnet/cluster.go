@@ -1,0 +1,10 @@
+package trustnet
+
+import "repro/internal/workload"
+
+// WorkloadEngine exposes the engine's underlying workload engine — the
+// attachment point of the cluster layer (internal/cluster), whose master
+// installs its scatter delegate, SpMV delegate and report observer there.
+// It is not a general-purpose escape hatch: mutating the workload engine
+// directly bypasses the facade's epoch-boundary read/write concordance.
+func (e *Engine) WorkloadEngine() *workload.Engine { return e.dyn.Engine() }

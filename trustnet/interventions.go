@@ -93,6 +93,12 @@ func (w WhitewashWave) applyTo(e *Engine) error {
 			return err
 		}
 	}
+	// Whitewashing erases mechanism rows behind the workload engine's back;
+	// SetPeerActive alone would not invalidate cluster replicas when the
+	// whitewashed users were already present.
+	if len(w.Users) > 0 {
+		e.workloadEngine().NoteMutation()
+	}
 	return nil
 }
 

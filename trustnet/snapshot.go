@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/core"
 )
@@ -78,6 +79,23 @@ func (e *Engine) Restore(s *Snapshot) error {
 		return fmt.Errorf("trustnet: restore: %w", err)
 	}
 	return nil
+}
+
+// RestoreFromFile loads the snapshot file at path and restores the engine
+// from it — the shared resume path of cmd/trustsim and cmd/trustnetd, so the
+// version-mismatch and scenario-mismatch checks live (and are tested) in one
+// place.
+func (e *Engine) RestoreFromFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("trustnet: restore snapshot: %w", err)
+	}
+	defer f.Close()
+	s, err := DecodeSnapshot(f)
+	if err != nil {
+		return err
+	}
+	return e.Restore(s)
 }
 
 // Encode writes the snapshot to w in the versioned binary (gob) format.

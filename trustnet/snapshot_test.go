@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -247,5 +249,72 @@ func TestDecodeSnapshotOldVersionClearError(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "snapshot version mismatch (got 1, want 2)") {
 		t.Fatalf("decode error %q does not name the version mismatch", err)
+	}
+}
+
+// TestRestoreFromFile covers the shared file-resume helper both trustsim and
+// trustnetd (and trustmaster's workers, via snapshot sync) sit on: a good
+// checkpoint file restores bit-for-bit, a wrong-version file reports the
+// version mismatch instead of a raw gob error, and a missing file fails.
+func TestRestoreFromFile(t *testing.T) {
+	eng, err := New(sessionScenario(77)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEpochs(t, eng, 3)
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.snap")
+	f, err := os.Create(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := New(sessionScenario(77)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.RestoreFromFile(good); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resumed.EpochIndex(), eng.EpochIndex(); got != want {
+		t.Fatalf("resumed epoch = %d, want %d", got, want)
+	}
+	runEpochs(t, eng, 2)
+	runEpochs(t, resumed, 2)
+	a, b := eng.History(), resumed.History()
+	if len(b) == 0 || a[len(a)-1] != b[len(b)-1] {
+		t.Fatalf("post-resume epoch diverged: %+v vs %+v", a[len(a)-1], b[len(b)-1])
+	}
+
+	stale := filepath.Join(dir, "stale.snap")
+	bad := *snap
+	bad.Version = 1
+	bf, err := os.Create(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(bf).Encode(&bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = resumed.RestoreFromFile(stale)
+	if err == nil || !strings.Contains(err.Error(), "snapshot version mismatch") {
+		t.Fatalf("stale-version file restore = %v, want version mismatch", err)
+	}
+
+	if err := resumed.RestoreFromFile(filepath.Join(dir, "absent.snap")); err == nil {
+		t.Fatal("restore from missing file succeeded")
 	}
 }
