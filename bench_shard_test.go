@@ -55,6 +55,68 @@ func BenchmarkShardedEpoch(b *testing.B) {
 	b.Run(fmt.Sprintf("users=%d/interactions=%d/shards=%d", 1000000, volume, 4), func(b *testing.B) {
 		benchEpoch(b, 1000000, volume, 4)
 	})
+	// Quiescent rows: the settled-regime steady state. A 1M population with
+	// a 10k active set is warmed until the inactive majority reaches its
+	// bitwise trust fixed point, then the epoch is timed in the default
+	// sparse mode (mode=settled) and with every skip disabled (mode=dense).
+	// The two runs compute bit-identical histories; benchjson pairs them
+	// into the mode=dense-vs-settled speedup. The interaction volume is
+	// deliberately small — the active-set work is priced by the fixed-volume
+	// rows above, and this pair isolates the epoch-boundary tail the settled
+	// machinery eliminates (full-population trust update, coupling pass, and
+	// aggregate folds on the dense side vs dirty+unsettled work on the
+	// sparse side). The active set is wide (100k) so the warmup epochs do
+	// not densify a tiny subgraph's neighborhoods, which would swamp the
+	// pair with candidate-sampling cost common to both modes.
+	const quiescentVolume = 2000
+	for _, mode := range []string{"dense", "settled"} {
+		b.Run(fmt.Sprintf("users=%d/interactions=%d/shards=%d/mode=%s", 1000000, quiescentVolume, 4, mode), func(b *testing.B) {
+			benchQuiescentEpoch(b, 1000000, 100000, quiescentVolume, 4, mode == "dense")
+		})
+	}
+}
+
+// benchQuiescentEpoch times late (post-settling) epochs: all but the first
+// `active` users leave before the warmup, the None mechanism keeps the
+// shared reputation facet constant, and 60 warm epochs let every untouched
+// user reach the bitwise fixed point the settled set skips.
+func benchQuiescentEpoch(b *testing.B, users, active, interactions, shards int, dense bool) {
+	dyn, err := core.NewDynamics(core.DynamicsConfig{
+		Workload: workload.Config{
+			Seed:                 1,
+			NumPeers:             users,
+			Mix:                  benchMix(0.3),
+			InteractionsPerRound: interactions,
+			Disclosure:           0.8,
+			RecomputeEvery:       2,
+			Shards:               shards,
+		},
+		Coupled:     true,
+		EpochRounds: 5,
+	}, reputation.NewNone(users))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := active; u < users; u++ {
+		if err := dyn.Engine().SetPeerActive(u, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm up in the (fast) sparse mode regardless of the measured mode:
+	// both modes compute identical state, so the warmed engine is the same.
+	for i := 0; i < 60; i++ {
+		if _, err := dyn.Epoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dyn.SetDenseReference(dense)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dyn.Epoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // benchEpoch times coupled epochs at the given scale; interactions == 0

@@ -339,3 +339,53 @@ func TestNoWorkersDegradesLocally(t *testing.T) {
 		t.Errorf("workerless master reported remote phases (%d, %d)", scatters, spmvs)
 	}
 }
+
+// TestQuiescentRunAvoidsResyncs pins the replica-coherence win from the
+// bytewise-identical honesty-override skip: an uncoupled steady scenario
+// installs the same honesty vector every epoch, which must NOT bump the
+// mutation generation, so workers need only the bootstrap sync plus the one
+// real override change — far fewer than one resync per epoch.
+func TestQuiescentRunAvoidsResyncs(t *testing.T) {
+	sc := trustnet.MustScenario("baseline")
+	sc.Coupled = false
+	sc.Epochs = 10
+	want := gobBytes(t, runLocal(t, sc))
+	const workers = 2
+	hist, m := runCluster(t, sc, workers)
+	if got := gobBytes(t, hist); !bytes.Equal(got, want) {
+		t.Fatalf("uncoupled cluster history diverged from local run")
+	}
+	if scatters, _ := m.RemotePhases(); scatters == 0 {
+		t.Fatalf("no scatter chunks ran remotely")
+	}
+	resyncs := m.Resyncs()
+	// One bootstrap sync per worker, plus one after epoch 1's first (and
+	// only) real honesty-override install. Anything close to epochs×workers
+	// means no-op installs are bumping the generation again.
+	if max := uint64(3 * workers); resyncs > max {
+		t.Errorf("resyncs = %d, want <= %d (quiescent run must not resync per epoch)", resyncs, max)
+	}
+	if perEpoch := uint64(sc.Epochs * workers); resyncs >= perEpoch {
+		t.Errorf("resyncs = %d, not below per-epoch rate %d", resyncs, perEpoch)
+	}
+}
+
+// TestClusterMatchesDenseReference closes the golden settled-vs-dense suite
+// over the cluster topology: a sparse-tail loopback cluster must reproduce,
+// bit-for-bit, the history of a local run forced into the dense reference
+// mode (every user recomputed every epoch).
+func TestClusterMatchesDenseReference(t *testing.T) {
+	sc := trustnet.MustScenario("churnstorm")
+	sc.Epochs = 8
+	eng, err := sc.NewEngine()
+	if err != nil {
+		t.Fatalf("local engine: %v", err)
+	}
+	eng.SetDenseReference(true)
+	runSession(t, eng, sc)
+	want := gobBytes(t, eng.History())
+	hist, _ := runCluster(t, sc, 2)
+	if got := gobBytes(t, hist); !bytes.Equal(got, want) {
+		t.Errorf("sparse cluster history diverged from dense local reference")
+	}
+}

@@ -106,6 +106,11 @@ type Master struct {
 	// assert delegation happened; operators read them in logs).
 	remoteScatters atomic.Uint64
 	remoteSpMVs    atomic.Uint64
+	// resyncs counts full replica-state pushes to stale workers. Mutations
+	// that do not change engine state (e.g. installing a bytewise-identical
+	// honesty override) must not bump the mutation generation, so a
+	// steady-state run resyncs rarely; tests pin that.
+	resyncs atomic.Uint64
 }
 
 // RemotePhases reports how many scatter chunks and SpMV block ranges were
@@ -113,6 +118,9 @@ type Master struct {
 func (m *Master) RemotePhases() (scatterChunks, spmvRanges uint64) {
 	return m.remoteScatters.Load(), m.remoteSpMVs.Load()
 }
+
+// Resyncs reports how many full replica-state pushes stale workers needed.
+func (m *Master) Resyncs() uint64 { return m.resyncs.Load() }
 
 // NewMaster builds the engine from the scenario, installs the cluster
 // delegates, and (when cfg.Listener is set) starts accepting workers.
@@ -414,6 +422,7 @@ func (m *Master) scatterOn(w *remoteWorker, gen uint64, syncEnv *envelope, plans
 	}
 	if stale {
 		w.markSynced(gen)
+		m.resyncs.Add(1)
 	}
 	m.remoteScatters.Add(1)
 	return resp.ScatterRes.Outcomes, nil
@@ -489,6 +498,7 @@ func (m *Master) spmvOn(w *remoteWorker, gen uint64, syncEnv *envelope, x []floa
 	}
 	if stale {
 		w.markSynced(gen)
+		m.resyncs.Add(1)
 	}
 	m.remoteSpMVs.Add(1)
 	return resp.SpMVRes.Partials, resp.SpMVRes.Masses, nil

@@ -92,20 +92,23 @@ func Assess(e *workload.Engine) Assessment {
 	return Assessment{PerUser: per, Power: repFacet, Tau: sum.Tau, Separation: separation, Community: community}
 }
 
-// GlobalFacets averages an assessment into a single Facets value.
+// GlobalFacets averages an assessment into a single Facets value. The means
+// are folded directly over PerUser — left to right, exactly as metrics.Mean
+// folds a slice — instead of materializing two n-sized scratch slices per
+// call.
 func (a Assessment) GlobalFacets() Facets {
 	if len(a.PerUser) == 0 {
 		return Facets{Satisfaction: 0.5, Reputation: a.Power, Privacy: 1}
 	}
-	s := make([]float64, len(a.PerUser))
-	p := make([]float64, len(a.PerUser))
-	for i, f := range a.PerUser {
-		s[i] = f.Satisfaction
-		p[i] = f.Privacy
+	var s, p float64
+	for _, f := range a.PerUser {
+		s += f.Satisfaction
+		p += f.Privacy
 	}
+	n := float64(len(a.PerUser))
 	return Facets{
-		Satisfaction: metrics.Mean(s),
+		Satisfaction: s / n,
 		Reputation:   a.Power,
-		Privacy:      metrics.Mean(p),
+		Privacy:      p / n,
 	}
 }

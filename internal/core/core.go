@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -165,6 +166,21 @@ type TrustModel struct {
 	inertia     float64         //trustlint:derived configuration, re-established when the model is rebuilt from the scenario
 	trust       []float64
 	started     []bool
+	// settled[u] records that u's trust reached its bitwise fixed point under
+	// inertia at her last update: inertia*t + (1-inertia)*Combine(f) == t
+	// exactly. As long as u's facets do not change, re-updating her is a
+	// provable no-op, so the sparse epoch tail may skip her entirely.
+	settled []bool
+	// settledCount / unsettled are indexes over settled, maintained by every
+	// update path (and rebuilt by SetState) so the epoch tail can iterate the
+	// not-yet-converged users without a Θ(n) scan.
+	settledCount int              //trustlint:derived count of set bits in settled, recomputed on SetState
+	unsettled    []int            //trustlint:derived ascending ids with settled[u]==false, rebuilt on SetState
+	tree         *metrics.SumTree //trustlint:derived fixed-shape sum of trust, rebuilt from it on SetState
+	// Reusable scratch for UpdateScattered, so settled-regime epoch
+	// boundaries allocate nothing.
+	errScratch     []error //trustlint:derived per-call scratch, dead between calls
+	settledScratch []bool  //trustlint:derived per-call scratch, dead between calls
 }
 
 // NewTrustModel creates a model for n users. inertia in [0,1) is the weight
@@ -182,9 +198,14 @@ func NewTrustModel(n int, w Weights, inertia float64) (*TrustModel, error) {
 	m := &TrustModel{weights: w, inertia: inertia}
 	m.trust = make([]float64, n)
 	m.started = make([]bool, n)
+	m.settled = make([]bool, n)
+	m.unsettled = make([]int, n)
 	for i := range m.trust {
 		m.trust[i] = 0.5 // initial neutral trust
+		m.unsettled[i] = i
 	}
+	m.tree = metrics.NewSumTree(n)
+	m.tree.FillUniform(0.5)
 	return m, nil
 }
 
@@ -205,7 +226,24 @@ func (m *TrustModel) SetUserWeights(user int, w Weights) error {
 		m.userWeights = make(map[int]Weights)
 	}
 	m.userWeights[user] = w
+	// New weights change the user's fixed point: her settled proof no longer
+	// holds, so she must rejoin the worklist until she converges again.
+	m.unsettle(user)
 	return nil
+}
+
+// unsettle drops user from the settled set, inserting her back into the
+// ascending unsettled worklist.
+func (m *TrustModel) unsettle(user int) {
+	if !m.settled[user] {
+		return
+	}
+	m.settled[user] = false
+	m.settledCount--
+	at := sort.SearchInts(m.unsettled, user)
+	m.unsettled = append(m.unsettled, 0)
+	copy(m.unsettled[at+1:], m.unsettled[at:])
+	m.unsettled[at] = user
 }
 
 // UserWeights returns the weight profile in effect for a user: her
@@ -221,6 +259,18 @@ func (m *TrustModel) weightsFor(user int) Weights {
 	return m.weights
 }
 
+// fold computes user u's next trust value from the instant combination and
+// reports whether the result is at its bitwise fixed point under inertia
+// (re-folding the same instant would reproduce it exactly).
+func (m *TrustModel) fold(u int, instant float64) (t float64, settled bool) {
+	if !m.started[u] {
+		t = instant
+	} else {
+		t = m.inertia*m.trust[u] + (1-m.inertia)*instant
+	}
+	return t, m.inertia*t+(1-m.inertia)*instant == t
+}
+
 // Update folds a user's current facets into her trust and returns the new
 // value.
 func (m *TrustModel) Update(user int, f Facets) (float64, error) {
@@ -231,11 +281,20 @@ func (m *TrustModel) Update(user int, f Facets) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if !m.started[user] {
-		m.trust[user] = instant
-		m.started[user] = true
-	} else {
-		m.trust[user] = m.inertia*m.trust[user] + (1-m.inertia)*instant
+	t, settledNow := m.fold(user, instant)
+	m.trust[user] = t
+	m.started[user] = true
+	m.tree.Set(user, t)
+	switch {
+	case settledNow && !m.settled[user]:
+		m.settled[user] = true
+		m.settledCount++
+		at := sort.SearchInts(m.unsettled, user)
+		if at < len(m.unsettled) && m.unsettled[at] == user {
+			m.unsettled = append(m.unsettled[:at], m.unsettled[at+1:]...)
+		}
+	case !settledNow:
+		m.unsettle(user)
 	}
 	return m.trust[user], nil
 }
@@ -254,42 +313,153 @@ func (m *TrustModel) UpdateAll(per []Facets, shards int) error {
 	if len(per) != n {
 		return fmt.Errorf("core: UpdateAll got %d facet rows for %d users", len(per), n)
 	}
-	errs := make([]error, n)
-	sim.ForChunks(shards, n, func(lo, hi int) {
-		var lastF Facets
-		var lastInstant float64
-		lastOK := false
-		for u := lo; u < hi; u++ {
-			var instant float64
-			if _, individual := m.userWeights[u]; !individual && lastOK && per[u] == lastF {
-				instant = lastInstant
-			} else {
-				var err error
-				instant, err = Combine(per[u], m.weightsFor(u))
-				if err != nil {
-					errs[u] = err
-					lastOK = false
-					continue
-				}
-				if !individual {
-					lastF, lastInstant, lastOK = per[u], instant, true
-				}
-			}
-			if !m.started[u] {
-				m.trust[u] = instant
-				m.started[u] = true
-			} else {
-				m.trust[u] = m.inertia*m.trust[u] + (1-m.inertia)*instant
-			}
-		}
-	})
+	return m.UpdateScattered(nil, true, func(u int) Facets { return per[u] }, shards)
+}
+
+// UpdateScattered is the sparse trust-update pass behind the sub-linear
+// epoch tail. It folds current facets into trust for a candidate subset:
+// the ascending id list cands, or every user when all is set (cands is then
+// ignored). facetOf returns a user's current facet triple and must be safe
+// for concurrent calls; it is consulted only for visited users.
+//
+// Skipping a non-candidate is a provable no-op whenever candidates cover
+// (a) every user whose facet triple changed since her last update and
+// (b) every user not bitwise settled (see TrustModel.settled): a skipped
+// user is then settled with unchanged facets, so Combine — a pure function —
+// would reproduce her last instant value, and the settled fixed point makes
+// the inertia fold return her trust unchanged, bit for bit. The dense pass
+// (all=true) therefore produces an identical trust vector, tree, and
+// settled state; it just visits users the sparse pass proved inert.
+//
+// The parallel phase writes only per-user cells (trust, started, and the
+// settled scratch); the tree, the settled index, and the count are folded
+// in a sequential pass, preserving the pipeline's any-shard-count
+// determinism.
+func (m *TrustModel) UpdateScattered(cands []int, all bool, facetOf func(int) Facets, shards int) error {
+	n := len(m.trust)
+	count := len(cands)
+	if all {
+		count = n
+	}
+	if count == 0 {
+		return nil
+	}
+	errs := m.growErr(count)
+	newSettled := m.growSettled(count)
+	// Small batches run sequentially as a direct call: fanning out is slower
+	// than the work, and the steady-state (settled-regime) epoch tail must
+	// not allocate — the ForChunks closure below escapes to the heap.
+	if shards <= 1 || count < sparseSeqCutoff {
+		m.updateChunk(cands, all, facetOf, errs, newSettled, 0, count)
+	} else {
+		sim.ForChunks(shards, count, func(lo, hi int) {
+			m.updateChunk(cands, all, facetOf, errs, newSettled, lo, hi)
+		})
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
+	// Sequential fold: aggregate tree, settled flags/count, and the rebuilt
+	// unsettled worklist. Every currently-unsettled user is a candidate (the
+	// caller's contract above), so filtering the visited set rebuilds the
+	// whole worklist.
+	m.unsettled = m.unsettled[:0]
+	for k := 0; k < count; k++ {
+		u := k
+		if !all {
+			u = cands[k]
+		}
+		m.tree.Set(u, m.trust[u])
+		if on := newSettled[k]; on != m.settled[u] {
+			m.settled[u] = on
+			if on {
+				m.settledCount++
+			} else {
+				m.settledCount--
+			}
+		}
+		if !m.settled[u] {
+			m.unsettled = append(m.unsettled, u)
+		}
+	}
 	return nil
 }
+
+// sparseSeqCutoff is the candidate count below which UpdateScattered skips
+// the parallel fan-out. Purely a scheduling decision: results are
+// bit-identical either way (the chunk memo only reuses a pure function's
+// result on equal inputs).
+const sparseSeqCutoff = 2048
+
+// updateChunk folds facets into trust for candidates [lo, hi). It writes
+// only per-user cells (trust, started) and per-candidate scratch (errs,
+// newSettled), so disjoint ranges are safe to run concurrently. Within the
+// chunk the last Combine result is memoized for users without individual
+// weight profiles (see UpdateAll).
+func (m *TrustModel) updateChunk(cands []int, all bool, facetOf func(int) Facets, errs []error, newSettled []bool, lo, hi int) {
+	var lastF Facets
+	var lastInstant float64
+	lastOK := false
+	for k := lo; k < hi; k++ {
+		u := k
+		if !all {
+			u = cands[k]
+		}
+		f := facetOf(u)
+		var instant float64
+		if _, individual := m.userWeights[u]; !individual && lastOK && f == lastF {
+			instant = lastInstant
+		} else {
+			var err error
+			instant, err = Combine(f, m.weightsFor(u))
+			if err != nil {
+				errs[k] = err
+				lastOK = false
+				continue
+			}
+			if !individual {
+				lastF, lastInstant, lastOK = f, instant, true
+			}
+		}
+		t, settledNow := m.fold(u, instant)
+		m.trust[u] = t
+		m.started[u] = true
+		newSettled[k] = settledNow
+	}
+}
+
+func (m *TrustModel) growErr(count int) []error {
+	if cap(m.errScratch) < count {
+		m.errScratch = make([]error, count)
+	}
+	errs := m.errScratch[:count]
+	for i := range errs {
+		errs[i] = nil
+	}
+	return errs
+}
+
+func (m *TrustModel) growSettled(count int) []bool {
+	if cap(m.settledScratch) < count {
+		m.settledScratch = make([]bool, count)
+	}
+	return m.settledScratch[:count]
+}
+
+// SettledCount returns how many users are currently at their bitwise trust
+// fixed point.
+func (m *TrustModel) SettledCount() int { return m.settledCount }
+
+// Settled reports whether one user is at her bitwise trust fixed point.
+func (m *TrustModel) Settled(user int) bool {
+	return user >= 0 && user < len(m.settled) && m.settled[user]
+}
+
+// UnsettledIDs returns the ascending ids of users not yet settled. The slice
+// is owned by the model and valid until the next update.
+func (m *TrustModel) UnsettledIDs() []int { return m.unsettled }
 
 // Trust returns a user's current trust (0.5 before any update).
 func (m *TrustModel) Trust(user int) float64 {
@@ -308,9 +478,11 @@ func (m *TrustModel) Trusts() []float64 {
 
 // GlobalTrust is the system-level trust: the mean over users (§3
 // distinguishes each user's perception from the system "considered globally
-// as trusted or not").
+// as trusted or not"). It reads the fixed-shape summation tree maintained by
+// every update path, so it is O(1) and bit-stable across sparse and dense
+// update schedules.
 func (m *TrustModel) GlobalTrust() float64 {
-	return metrics.Mean(m.trust)
+	return m.tree.Mean()
 }
 
 // SystemTrusted reports whether the system counts as globally trusted:

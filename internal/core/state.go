@@ -13,6 +13,11 @@ import (
 type TrustModelState struct {
 	Trust   []float64
 	Started []bool
+	// Settled carries the per-user fixed-point flags so a resumed run skips
+	// exactly the users the uninterrupted run would skip. Nil (a snapshot
+	// predating the settled set) restores as all-unsettled, which is always
+	// valid: the first dense pass re-derives the flags.
+	Settled []bool
 }
 
 // State captures the model's mutable state.
@@ -20,16 +25,39 @@ func (m *TrustModel) State() TrustModelState {
 	return TrustModelState{
 		Trust:   append([]float64(nil), m.trust...),
 		Started: append([]bool(nil), m.started...),
+		Settled: append([]bool(nil), m.settled...),
 	}
 }
 
 // SetState restores a previously captured state of the same population size.
+// The settled count, the unsettled worklist, and the summation tree are
+// derived indexes over the restored vectors and are rebuilt here.
 func (m *TrustModel) SetState(st TrustModelState) error {
 	if len(st.Trust) != len(m.trust) || len(st.Started) != len(m.started) {
 		return fmt.Errorf("core: trust-model state for %d users, want %d", len(st.Trust), len(m.trust))
 	}
+	if st.Settled != nil && len(st.Settled) != len(m.settled) {
+		return fmt.Errorf("core: trust-model settled flags for %d users, want %d", len(st.Settled), len(m.settled))
+	}
 	copy(m.trust, st.Trust)
 	copy(m.started, st.Started)
+	if st.Settled != nil {
+		copy(m.settled, st.Settled)
+	} else {
+		for i := range m.settled {
+			m.settled[i] = false
+		}
+	}
+	m.settledCount = 0
+	m.unsettled = m.unsettled[:0]
+	for u, on := range m.settled {
+		if on {
+			m.settledCount++
+		} else {
+			m.unsettled = append(m.unsettled, u)
+		}
+	}
+	m.tree.Fill(m.trust)
 	return nil
 }
 
@@ -52,6 +80,14 @@ type DynamicsState struct {
 	Honesty     []float64
 	Epoch       int
 	History     []EpochStats
+	// PrevRepFacet is the last epoch's reputation facet, used to detect
+	// rep-facet movement (which dirties every user). Old snapshots decode it
+	// as 0, which forces a dense epoch after restore — safe, merely not
+	// sparse. CouplingAll records a pending full coupling rewrite; old
+	// snapshots decode it as false, also safe, because pre-sparse code
+	// maintained the coupling invariant by writing every cell every epoch.
+	PrevRepFacet float64
+	CouplingAll  bool
 }
 
 // State captures the coupled system's mutable state.
@@ -71,6 +107,8 @@ func (d *Dynamics) State() (DynamicsState, error) {
 		Honesty:        append([]float64(nil), d.honesty...),
 		Epoch:          d.epoch,
 		History:        append([]EpochStats(nil), d.history...),
+		PrevRepFacet:   d.prevRepFacet,
+		CouplingAll:    d.couplingAll,
 	}, nil
 }
 
@@ -104,5 +142,28 @@ func (d *Dynamics) Restore(st DynamicsState) error {
 	copy(d.honesty, st.Honesty)
 	d.epoch = st.Epoch
 	d.history = append([]EpochStats(nil), st.History...)
+	d.prevRepFacet = st.PrevRepFacet
+	d.couplingAll = st.CouplingAll
+	// The remaining sub-linear-tail state is derived. Pending delta lists are
+	// superseded by full installs: a full in-place install writes values
+	// bit-identical to what the pending deltas would have written (the
+	// vectors themselves are restored above) and consumes no randomness.
+	d.discAll, d.honAll = true, true
+	d.discDirty, d.honDirty = d.discDirty[:0], d.honDirty[:0]
+	d.prevLedgerScale = d.eng.LedgerScale()
+	// Rebuild the four aggregate trees from the restored leaves. Fill is
+	// bottom-up over the same fixed shape, so subsequent incremental Sets
+	// continue bit-identically to an uninterrupted run.
+	leaves := make([]float64, n)
+	for u := 0; u < n; u++ {
+		leaves[u] = d.eng.UserSatisfaction(u)
+	}
+	d.satTree.Fill(leaves)
+	for u := 0; u < n; u++ {
+		leaves[u] = d.eng.PrivacyFacetOf(u)
+	}
+	d.privTree.Fill(leaves)
+	d.discTree.Fill(d.disclosure)
+	d.honTree.Fill(d.honesty)
 	return nil
 }

@@ -19,7 +19,14 @@ func (s *DirtySet) Mark(id int) {
 		return
 	}
 	if id >= len(s.mark) {
-		grown := make([]bool, id+1)
+		// Grow geometrically: ids often arrive in ascending order (sorted
+		// re-mark loops), and growing to exactly id+1 each time would copy
+		// Θ(k²) bytes over k marks.
+		size := 2 * len(s.mark)
+		if size < id+1 {
+			size = id + 1
+		}
+		grown := make([]bool, size)
 		copy(grown, s.mark)
 		s.mark = grown
 	}

@@ -1,0 +1,108 @@
+package metrics
+
+import "math"
+
+// SumTree is a fixed-shape summation tree over n float64 leaves: a complete
+// binary tree (leaves padded to the next power of two with zeros) whose
+// internal nodes each hold the sum of their two children. Because the tree's
+// SHAPE is fixed at construction, the root is a fully parenthesized sum with
+// a fixed association order — so the root after any sequence of Set calls is
+// bit-for-bit identical to recomputing the whole tree bottom-up over the
+// same leaves. That is the property incremental epoch aggregates need:
+// maintaining a mean from a dirty set must not drift, by even one ulp, from
+// the dense recomputation a resumed or dense-reference run performs.
+//
+// Why the bits match: Set re-evaluates node[p] = node[2p] + node[2p+1] on
+// every node along the leaf-to-root path, so the "every internal node is the
+// sum of its current children" invariant holds after each call. Two trees
+// with equal leaves that both satisfy the invariant are equal node-for-node
+// by induction on height — regardless of the order, grouping, or number of
+// Set calls that produced them. A left-to-right running sum has no such
+// fixed shape, which is exactly why incremental maintenance of one cannot
+// reproduce its bits.
+//
+// Set is O(log n); Sum and Mean are O(1). The zero-size tree (n == 0) is
+// valid and sums to 0.
+type SumTree struct {
+	n    int
+	size int // leaf span: smallest power of two >= max(n, 1)
+	node []float64
+}
+
+// NewSumTree builds a tree of n zero leaves.
+func NewSumTree(n int) *SumTree {
+	if n < 0 {
+		n = 0
+	}
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	return &SumTree{n: n, size: size, node: make([]float64, 2*size)}
+}
+
+// N returns the leaf count.
+func (t *SumTree) N() int { return t.n }
+
+// Leaf returns leaf i's current value.
+func (t *SumTree) Leaf(i int) float64 {
+	if i < 0 || i >= t.n {
+		return 0
+	}
+	return t.node[t.size+i]
+}
+
+// Set writes leaf i and refreshes the sums on its path to the root. Setting
+// a leaf to its current bit pattern (value and sign bit both equal) is a
+// no-op.
+func (t *SumTree) Set(i int, v float64) {
+	if i < 0 || i >= t.n {
+		return
+	}
+	p := t.size + i
+	if old := t.node[p]; old == v && math.Signbit(old) == math.Signbit(v) {
+		return
+	}
+	t.node[p] = v
+	for p >>= 1; p >= 1; p >>= 1 {
+		t.node[p] = t.node[2*p] + t.node[2*p+1]
+	}
+}
+
+// Fill overwrites every leaf from vs (len(vs) must be N) and rebuilds every
+// internal node bottom-up — the dense recomputation the incremental path is
+// pinned against, and the restore path for trees rebuilt from a snapshot.
+func (t *SumTree) Fill(vs []float64) {
+	if len(vs) != t.n {
+		panic("metrics: SumTree.Fill length mismatch")
+	}
+	copy(t.node[t.size:t.size+t.n], vs)
+	for i := t.size + t.n; i < 2*t.size; i++ {
+		t.node[i] = 0
+	}
+	for p := t.size - 1; p >= 1; p-- {
+		t.node[p] = t.node[2*p] + t.node[2*p+1]
+	}
+}
+
+// FillUniform sets every leaf to v and rebuilds the tree.
+func (t *SumTree) FillUniform(v float64) {
+	for i := 0; i < t.n; i++ {
+		t.node[t.size+i] = v
+	}
+	for i := t.size + t.n; i < 2*t.size; i++ {
+		t.node[i] = 0
+	}
+	for p := t.size - 1; p >= 1; p-- {
+		t.node[p] = t.node[2*p] + t.node[2*p+1]
+	}
+}
+
+// Sum returns the root: the fixed-shape sum of all leaves.
+func (t *SumTree) Sum() float64 { return t.node[1] }
+
+// Mean returns Sum()/N (NaN for an empty tree, matching Mean on an empty
+// slice).
+func (t *SumTree) Mean() float64 {
+	return t.Sum() / float64(t.n)
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSumTreeMatchesDenseRebuild is the property the incremental epoch
+// aggregates stand on: after ANY sequence of leaf updates, the root is
+// bit-for-bit the value a full bottom-up rebuild over the same leaves
+// produces — for awkward sizes (non powers of two), repeated writes of the
+// same leaf, and adversarially mixed magnitudes.
+func TestSumTreeMatchesDenseRebuild(t *testing.T) {
+	rng := sim.NewRNG(99)
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 1000, 1023} {
+		inc := NewSumTree(n)
+		leaves := make([]float64, n)
+		for step := 0; step < 5000; step++ {
+			i := rng.Intn(n)
+			// Mixed magnitudes make float addition maximally order-sensitive,
+			// so a shape mismatch cannot hide.
+			v := rng.Float64() * math.Pow(10, float64(rng.Intn(9)-4))
+			leaves[i] = v
+			inc.Set(i, v)
+			if step%977 != 0 && step != 4999 {
+				continue
+			}
+			ref := NewSumTree(n)
+			ref.Fill(leaves)
+			if incSum, refSum := inc.Sum(), ref.Sum(); math.Float64bits(incSum) != math.Float64bits(refSum) {
+				t.Fatalf("n=%d step=%d: incremental root %x diverged from dense rebuild %x", n, step, math.Float64bits(incSum), math.Float64bits(refSum))
+			}
+		}
+		// Every internal node — not just the root — must satisfy the
+		// sum-of-children invariant, or later Sets would read stale partials.
+		for p := 1; p < inc.size; p++ {
+			if want := inc.node[2*p] + inc.node[2*p+1]; math.Float64bits(inc.node[p]) != math.Float64bits(want) {
+				t.Fatalf("n=%d: node %d is not the sum of its children", n, p)
+			}
+		}
+	}
+}
+
+func TestSumTreeBasics(t *testing.T) {
+	tr := NewSumTree(3)
+	if got := tr.Sum(); got != 0 {
+		t.Fatalf("empty sum = %v", got)
+	}
+	tr.FillUniform(0.5)
+	if got := tr.Sum(); got != 1.5 {
+		t.Fatalf("uniform sum = %v, want 1.5", got)
+	}
+	if got := tr.Mean(); got != 0.5 {
+		t.Fatalf("mean = %v, want 0.5", got)
+	}
+	tr.Set(1, 0.25)
+	if got, want := tr.Sum(), 0.5+0.25+0.5; got != want {
+		t.Fatalf("sum after set = %v, want %v", got, want)
+	}
+	if got := tr.Leaf(1); got != 0.25 {
+		t.Fatalf("leaf = %v", got)
+	}
+	// Out-of-range accesses are ignored, not panics.
+	tr.Set(-1, 9)
+	tr.Set(3, 9)
+	if got := tr.Leaf(5); got != 0 {
+		t.Fatalf("out-of-range leaf = %v", got)
+	}
+	empty := NewSumTree(0)
+	if got := empty.Sum(); got != 0 {
+		t.Fatalf("zero-size sum = %v", got)
+	}
+	if got := empty.Mean(); !math.IsNaN(got) {
+		t.Fatalf("zero-size mean = %v, want NaN", got)
+	}
+}
+
+// BenchmarkSumTreeSet documents the O(log n) leaf update the settled regime
+// pays per dirty user, allocation-free.
+func BenchmarkSumTreeSet(b *testing.B) {
+	tr := NewSumTree(1 << 20)
+	rng := sim.NewRNG(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Set(rng.Intn(1<<20), float64(i))
+	}
+}

@@ -185,6 +185,12 @@ func (l *Ledger) PrivacyFacet(owner int, scale float64) float64 {
 	return l.RespectRate(owner) * (1 - l.NormalizedExposure(owner, scale))
 }
 
+// DirtyOwners returns the ascending owner ids whose ledger state changed
+// since the last RefreshFacets — the privacy leg of the epoch tail's facet
+// dirty set. The slice is owned by the ledger and valid until its next
+// mutation; callers that need it past a refresh must copy it first.
+func (l *Ledger) DirtyOwners() []int { return l.facetDirty.Sorted() }
+
 // RefreshFacets brings the facet cache up to date at the given normalization
 // scale: dirty owners (and, on first use or a scale change, every owner with
 // recorded events) get their PrivacyFacet recomputed and cached. It mutates

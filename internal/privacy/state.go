@@ -1,15 +1,24 @@
 package privacy
 
-// LedgerState is the serializable state of a Ledger: the event list alone.
-// The per-owner aggregates are a derived index and are rebuilt by replaying
-// the events through Record, so the snapshot has a single source of truth.
+// LedgerState is the serializable state of a Ledger: the event list, plus
+// the owners dirty since the last facet refresh. The per-owner aggregates
+// are a derived index and are rebuilt by replaying the events through
+// Record, so the snapshot has a single source of truth — but the dirty set
+// cannot be derived from the events (it depends on when the last refresh
+// ran), and the epoch tail's DirtyFacets accounting must be identical on a
+// resumed run, so it is captured explicitly.
 type LedgerState struct {
 	Events []Disclosure
+	// FacetDirty lists the owners marked dirty at capture time (ascending).
+	FacetDirty []int
 }
 
 // State captures the ledger's recorded events.
 func (l *Ledger) State() LedgerState {
-	return LedgerState{Events: append([]Disclosure(nil), l.events...)}
+	return LedgerState{
+		Events:     append([]Disclosure(nil), l.events...),
+		FacetDirty: append([]int(nil), l.facetDirty.Sorted()...),
+	}
 }
 
 // SetState resets the ledger to the captured events, rebuilding every
@@ -32,5 +41,14 @@ func (l *Ledger) SetState(st LedgerState) {
 	}
 	for _, e := range st.Events {
 		l.Record(e)
+	}
+	// The replay above marked every restored owner dirty; reduce the set to
+	// exactly what the capture recorded, so a resumed run's dirty-facet
+	// accounting matches the uninterrupted one. (The facet cache was dropped
+	// wholesale above, so correctness does not depend on these marks — only
+	// the epoch tail's bookkeeping does.)
+	l.facetDirty.Reset()
+	for _, owner := range st.FacetDirty {
+		l.facetDirty.Mark(owner)
 	}
 }

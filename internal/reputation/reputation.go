@@ -420,6 +420,24 @@ func NewGatherer(rng *sim.RNG, disclosure []float64) *Gatherer {
 // SharedBy returns how many reports the given rater has disclosed.
 func (g *Gatherer) SharedBy(rater int) int64 { return g.sharedBy[rater] }
 
+// SetDisclosure updates one rater's disclosure probability in place (clamped
+// to [0,1]), preserving the gatherer's random stream and gathering counters.
+// This is the delta-update seam the sparse §3 coupling uses: rebuilding the
+// gatherer per epoch would recopy an n-length vector and re-split a random
+// stream just to move a handful of cells. Out-of-range raters are ignored.
+func (g *Gatherer) SetDisclosure(rater int, p float64) {
+	if rater < 0 || rater >= len(g.disclosure) {
+		return
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	g.disclosure[rater] = p
+}
+
 // Admit performs the rater's disclosure draw without delivering anything:
 // it returns whether the rater shares the report, counting Withheld when
 // not. Callers that buffer admitted reports for batched delivery must call

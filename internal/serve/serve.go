@@ -216,6 +216,11 @@ type Stats struct {
 	ReportsPending int     `json:"reports_pending"`
 	StreamDropped  int64   `json:"stream_dropped"`
 	SessionDone    bool    `json:"session_done"`
+	// SettledUsers/DirtyFacets surface the last epoch's sub-linear-tail
+	// counters: how many users sat at their trust fixed point, and how many
+	// had a facet input change.
+	SettledUsers int `json:"settled_users"`
+	DirtyFacets  int `json:"dirty_facets"`
 }
 
 // ErrNotStarted is returned by Advance before Start.
@@ -500,6 +505,8 @@ func (s *Server) Stats() Stats {
 		ReportsPending: pending,
 		StreamDropped:  s.streamDropped.Load(),
 		SessionDone:    done,
+		SettledUsers:   v.Stats.SettledUsers,
+		DirtyFacets:    v.Stats.DirtyFacets,
 	}
 }
 

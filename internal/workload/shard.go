@@ -157,10 +157,12 @@ func (e *Engine) gather(results []interactionResult, st *RoundStats) {
 		if r.gateFailed {
 			e.GateFailures++
 			e.consumers[r.consumer].ObserveFailure()
+			e.satDirty.Mark(r.consumer)
 			continue
 		}
 		if r.provider < 0 {
 			e.consumers[r.consumer].ObserveFailure()
+			e.satDirty.Mark(r.consumer)
 			continue
 		}
 		st.Interactions++
@@ -169,6 +171,8 @@ func (e *Engine) gather(results []interactionResult, st *RoundStats) {
 		// The provider judges the (possibly imposed) request against its
 		// own intentions.
 		e.providers[r.provider].Observe(r.consumer)
+		e.satDirty.Mark(r.provider)
+		e.satDirty.Mark(r.consumer)
 
 		if r.refused {
 			st.BadService++
@@ -218,5 +222,8 @@ func (e *Engine) gather(results []interactionResult, st *RoundStats) {
 // log rescan.
 func (e *Engine) recordServed(provider int, quality float64) {
 	e.servedCount[provider]++
+	if e.servedCount[provider] == 1 {
+		e.servedStale = true
+	}
 	e.qualSum[provider] += quality
 }

@@ -46,8 +46,14 @@ type EngineState struct {
 	ComputeIters   int64
 	ServedCount    []int
 	QualSum        []float64
-	TrustGate      float64
-	LedgerScale    float64
+	// SatDirty lists the users whose satisfaction state was touched since the
+	// last epoch measurement consumed the dirty set (ascending). Normally
+	// empty at snapshot time (epoch boundaries reset it), it is captured so a
+	// mid-epoch snapshot — or future callers with other cadences — resumes
+	// with identical dirty-set accounting.
+	SatDirty    []int
+	TrustGate   float64
+	LedgerScale float64
 }
 
 // State captures the engine's mutable state. The mechanism must implement
@@ -80,6 +86,7 @@ func (e *Engine) State() (EngineState, error) {
 		ComputeIters:   e.computeIters,
 		ServedCount:    append([]int(nil), e.servedCount...),
 		QualSum:        append([]float64(nil), e.qualSum...),
+		SatDirty:       append([]int(nil), e.satDirty.Sorted()...),
 		TrustGate:      e.cfg.TrustGate,
 		LedgerScale:    e.ledgerScale,
 	}
@@ -187,6 +194,12 @@ func (e *Engine) Restore(st EngineState) error {
 	e.computeIters = st.ComputeIters
 	copy(e.servedCount, st.ServedCount)
 	copy(e.qualSum, st.QualSum)
+	// The served-provider index is derived state: rebuild lazily on next use.
+	e.servedStale = true
+	e.satDirty.Reset()
+	for _, u := range st.SatDirty {
+		e.satDirty.Mark(u)
+	}
 	e.cfg.TrustGate = st.TrustGate
 	e.ledgerScale = st.LedgerScale
 	// A restore rewrites every piece of simulate-visible state, so any

@@ -10,6 +10,7 @@ package workload
 import (
 	"context"
 	"fmt"
+	"math"
 	"strconv"
 
 	"repro/internal/adversary"
@@ -266,6 +267,15 @@ type Engine struct {
 	// set never require rescanning the interaction log.
 	servedCount []int
 	qualSum     []float64
+	// servedIDs is the ascending id list of providers with servedCount > 0,
+	// rebuilt lazily (servedStale) when a provider first serves, so per-epoch
+	// facet measurement iterates the served set without a Θ(n) scan.
+	servedIDs   []int //trustlint:derived index over servedCount, rebuilt lazily after restore (servedStale)
+	servedStale bool  //trustlint:derived set by restore (and first-serve transitions) to force the servedIDs rebuild
+	// satDirty marks users whose satisfaction EMA state was touched by the
+	// gather phase since the last ResetSatisfactionTouched — the
+	// satisfaction leg of the epoch tail's facet dirty set.
+	satDirty metrics.DirtySet
 }
 
 // NewEngine assembles a scenario around the provided mechanism (which must
@@ -376,16 +386,84 @@ func (e *Engine) SetDisclosure(d []float64) {
 }
 
 // SetHonestOverride installs per-peer truthful-report probabilities,
-// overriding behaviour-class honesty (nil restores class behaviour).
+// overriding behaviour-class honesty (nil restores class behaviour). A
+// vector bitwise identical to the installed one is a no-op: it neither
+// copies nor bumps the replica-sync generation, so a steady-state epoch does
+// not force a full cluster resync just to reinstall unchanged honesty.
 func (e *Engine) SetHonestOverride(h []float64) {
-	e.mutationGen++
 	if h == nil {
-		e.honestOverride = nil
+		if e.honestOverride != nil {
+			e.honestOverride = nil
+			e.mutationGen++
+		}
+		return
+	}
+	if len(h) == len(e.honestOverride) {
+		same := true
+		for i, v := range h {
+			if math.Float64bits(v) != math.Float64bits(e.honestOverride[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+		copy(e.honestOverride, h)
+		e.mutationGen++
 		return
 	}
 	cp := make([]float64, len(h))
 	copy(cp, h)
 	e.honestOverride = cp
+	e.mutationGen++
+}
+
+// ApplyHonestyDelta rewrites the honesty override for just the listed users
+// from h (a full n-length vector; only cells named by ids are read). With no
+// override installed yet it falls back to installing the whole vector. The
+// replica-sync generation is bumped only when something actually changes.
+func (e *Engine) ApplyHonestyDelta(ids []int, h []float64) {
+	if e.honestOverride == nil {
+		e.SetHonestOverride(h)
+		return
+	}
+	changed := false
+	for _, u := range ids {
+		if u < 0 || u >= len(e.honestOverride) || u >= len(h) {
+			continue
+		}
+		if math.Float64bits(e.honestOverride[u]) != math.Float64bits(h[u]) {
+			e.honestOverride[u] = h[u]
+			changed = true
+		}
+	}
+	if changed {
+		e.mutationGen++
+	}
+}
+
+// InstallDisclosure overwrites every peer's disclosure probability in place
+// (clamped by the gatherer), preserving the gatherer's random stream —
+// unlike SetDisclosure, which rebuilds the gatherer on a fresh stream split.
+// The gatherer is consumed only on the sequential gather path, so no replica
+// resync is needed.
+func (e *Engine) InstallDisclosure(d []float64) {
+	for i, v := range d {
+		e.gatherer.SetDisclosure(i, v)
+	}
+}
+
+// UpdateDisclosure rewrites the disclosure probability for just the listed
+// users from d (a full n-length vector; only cells named by ids are read) —
+// the sparse-coupling twin of InstallDisclosure.
+func (e *Engine) UpdateDisclosure(ids []int, d []float64) {
+	for _, u := range ids {
+		if u < 0 || u >= len(d) {
+			continue
+		}
+		e.gatherer.SetDisclosure(u, d[u])
+	}
 }
 
 // Network exposes the social network.
@@ -436,6 +514,90 @@ func (e *Engine) PrivacyFacets() []float64 {
 		}
 	})
 	return out
+}
+
+// RefreshPrivacyFacets brings the attached ledger's facet cache up to date
+// at the current exposure scale (a no-op without a ledger). It mutates the
+// cache, so it must run on a sequential phase, before PrivacyFacetOf calls
+// fan out over shards.
+func (e *Engine) RefreshPrivacyFacets() {
+	if e.ledger != nil {
+		e.ledger.RefreshFacets(e.ledgerScale)
+	}
+}
+
+// PrivacyFacetOf returns one user's privacy facet at the current exposure
+// scale (1 without a ledger). After RefreshPrivacyFacets it is a cached,
+// mutation-free read, safe to fan out over shards.
+func (e *Engine) PrivacyFacetOf(u int) float64 {
+	if e.ledger == nil {
+		return 1
+	}
+	return e.ledger.PrivacyFacet(u, e.ledgerScale)
+}
+
+// LedgerDirtyOwners returns the ascending owner ids whose ledger state
+// changed since the last RefreshPrivacyFacets (nil without a ledger). The
+// slice is owned by the ledger and valid until its next mutation — read it
+// before refreshing.
+func (e *Engine) LedgerDirtyOwners() []int {
+	if e.ledger == nil {
+		return nil
+	}
+	return e.ledger.DirtyOwners()
+}
+
+// LedgerScale returns the exposure normalization scale currently in effect
+// for the attached ledger's privacy facet.
+func (e *Engine) LedgerScale() float64 { return e.ledgerScale }
+
+// UserSatisfaction returns one user's satisfaction facet: her long-run
+// satisfaction averaged over her consumer and provider roles.
+func (e *Engine) UserSatisfaction(u int) float64 {
+	return (e.consumers[u].Satisfaction() + e.providers[u].Satisfaction()) / 2
+}
+
+// SatisfactionTouched returns the ascending ids of users whose satisfaction
+// EMA state was touched by the gather phase since the last reset. The slice
+// is owned by the engine and valid until the next round or reset.
+func (e *Engine) SatisfactionTouched() []int { return e.satDirty.Sorted() }
+
+// ResetSatisfactionTouched clears the satisfaction dirty set, typically
+// after an epoch's facet measurement has consumed it.
+func (e *Engine) ResetSatisfactionTouched() { e.satDirty.Reset() }
+
+// BarrierCompute forces a mechanism recompute — the measurement barrier an
+// epoch boundary runs so facet measurement sees scores that reflect every
+// gathered report — and folds its iteration count into the solver-cost
+// ledger, exactly as Summarize's barrier does.
+func (e *Engine) BarrierCompute() {
+	e.computeIters += int64(e.mech.Compute())
+}
+
+// ServedProviders returns the ascending ids of providers that ever served
+// (servedCount > 0), rebuilt lazily after a first-serve transition or a
+// restore. The slice is owned by the engine and valid until the next round.
+func (e *Engine) ServedProviders() []int {
+	if e.servedStale {
+		e.servedIDs = e.servedIDs[:0]
+		for p, cnt := range e.servedCount {
+			if cnt > 0 {
+				e.servedIDs = append(e.servedIDs, p)
+			}
+		}
+		e.servedStale = false
+	}
+	return e.servedIDs
+}
+
+// ProviderQuality returns a provider's realized mean service quality from
+// the incremental accumulators (1 for providers who never served, matching
+// GroundTruth).
+func (e *Engine) ProviderQuality(p int) float64 {
+	if p < 0 || p >= len(e.servedCount) || e.servedCount[p] == 0 {
+		return 1
+	}
+	return e.qualSum[p] / float64(e.servedCount[p])
 }
 
 // Round executes one interaction round through the sharded scatter-gather

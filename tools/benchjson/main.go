@@ -170,6 +170,22 @@ func process(r io.Reader, w io.Writer) error {
 		}
 		out.Speedup[strings.Replace(name, "kernel=sparse", "kernel=sparse-vs-dense", 1)] = dense.NsPerOp / sparse.NsPerOp
 	}
+	// Mode axis: pair each mode=settled epoch row with its mode=dense
+	// sibling (same users/interactions/shards) and report dense/settled —
+	// the sub-linear epoch tail's win in the quiescent regime.
+	for name, settled := range out.Benchmarks {
+		if !strings.Contains(name, "mode=settled") {
+			continue
+		}
+		dense, ok := out.Benchmarks[strings.Replace(name, "mode=settled", "mode=dense", 1)]
+		if !ok || settled.NsPerOp == 0 {
+			continue
+		}
+		if out.Speedup == nil {
+			out.Speedup = map[string]float64{}
+		}
+		out.Speedup[strings.Replace(name, "mode=settled", "mode=dense-vs-settled", 1)] = dense.NsPerOp / settled.NsPerOp
+	}
 	// Topology axis: pair each topology=workers-K row with its
 	// topology=local sibling and report local/cluster.
 	for name, clustered := range out.Benchmarks {

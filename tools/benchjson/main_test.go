@@ -21,6 +21,8 @@ BenchmarkSweep/grid=5x5/workers=1-8                 	       5	 200000000 ns/op
 BenchmarkSweep/grid=5x5/workers=4-8                 	      20	  50000000 ns/op
 BenchmarkCluster/users=100/topology=local-8         	      30	  40000000 ns/op
 BenchmarkCluster/users=100/topology=workers2        	      24	  50000000 ns/op
+BenchmarkShardedEpoch/users=500000/interactions=20000/shards=4/mode=dense-8 	       2	 600000000 ns/op
+BenchmarkShardedEpoch/users=500000/interactions=20000/shards=4/mode=settled-8 	      20	  60000000 ns/op
 PASS
 ok  	repro	2.482s
 `
@@ -41,8 +43,8 @@ func TestProcess(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Benchmarks) != 7 {
-		t.Fatalf("parsed %d rows, want 7", len(out.Benchmarks))
+	if len(out.Benchmarks) != 9 {
+		t.Fatalf("parsed %d rows, want 9", len(out.Benchmarks))
 	}
 
 	epoch := out.Benchmarks["ShardedEpoch/users=1000/shards=4"]
@@ -57,6 +59,9 @@ func TestProcess(t *testing.T) {
 	}
 	if got := out.Speedup["Cluster/users=100/topology=local-vs-workers2"]; got != 0.8 {
 		t.Fatalf("topology speedup = %v, want 0.8", got)
+	}
+	if got := out.Speedup["ShardedEpoch/users=500000/interactions=20000/shards=4/mode=dense-vs-settled"]; got != 10 {
+		t.Fatalf("mode speedup = %v, want 10", got)
 	}
 
 	serving := out.Benchmarks["Serving/users=200/shards=1"]

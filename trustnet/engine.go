@@ -212,3 +212,10 @@ func (e *Engine) ComputeIterations() int64 {
 // workloadEngine exposes the underlying engine to the package's own
 // assessment code.
 func (e *Engine) workloadEngine() *workload.Engine { return e.dyn.Engine() }
+
+// SetDenseReference switches the epoch tail into its dense reference mode:
+// every user's trust and coupling cells are recomputed every epoch, with no
+// settled-set or dirty-set skips. The results are bit-identical to the
+// default sparse mode — golden tests and benchmarks use this to prove (and
+// price) that equivalence.
+func (e *Engine) SetDenseReference(on bool) { e.dyn.SetDenseReference(on) }
